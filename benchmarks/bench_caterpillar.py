@@ -1,0 +1,31 @@
+"""E-EX2.5: document order as a caterpillar expression.
+
+Benchmark the NFA-product image evaluation (``root . <``) and the
+Lemma 5.9 compiled-datalog evaluation on growing trees -- both linear.
+"""
+
+import pytest
+
+from repro.caterpillar import caterpillar_to_datalog, image
+from repro.caterpillar.order import document_order_expression
+from repro.datalog.engine import evaluate
+from repro.trees.generate import random_tree
+from repro.trees.unranked import UnrankedStructure
+
+
+@pytest.mark.parametrize("nodes", [200, 800, 3200])
+def test_docorder_image_scaling(benchmark, nodes):
+    expr = document_order_expression()
+    structure = UnrankedStructure(random_tree(8, nodes))
+    reachable = benchmark(image, expr, structure, [0])
+    assert len(reachable) == nodes - 1  # the root precedes everything
+
+
+@pytest.mark.parametrize("nodes", [200, 800, 3200])
+def test_docorder_datalog_scaling(benchmark, nodes):
+    program, _ = caterpillar_to_datalog(
+        document_order_expression(), "root", "after_root"
+    )
+    structure = UnrankedStructure(random_tree(8, nodes))
+    result = benchmark(evaluate, program, structure, "ground")
+    assert len(result.unary("after_root")) == nodes - 1

@@ -1,0 +1,19 @@
+"""E-T6.6 (Theorem 6.6): the a^n b^n Elog-Delta program.
+
+Benchmark the stratum-free delta evaluator across fan-outs and verify the
+acceptance diagonal (the non-regular behaviour itself is asserted in
+tests/test_elog_delta.py and examples/anbn_beyond_mso.py).
+"""
+
+import pytest
+
+from repro.elog.delta import anbn_program, evaluate_elog_delta
+from repro.trees.generate import flat_tree
+
+
+@pytest.mark.parametrize("n", [5, 20, 60])
+def test_anbn_scaling(benchmark, n):
+    program = anbn_program()
+    tree = flat_tree("a" * n + "b" * n)
+    result = benchmark(evaluate_elog_delta, program, tree)
+    assert 0 in result.unary("anbn")

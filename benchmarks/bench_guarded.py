@@ -1,0 +1,21 @@
+"""E-P3.7 (Proposition 3.7): monadic Datalog LIT evaluates in
+O(|P| * |sigma|).
+
+The Example 3.2 program is in LIT (every rule is guarded or all-monadic);
+sweep the tree size under the dedicated LIT evaluator.
+"""
+
+import pytest
+
+from repro.datalog.guarded import evaluate_lit
+from repro.paper import even_a_program
+from repro.trees.generate import random_tree
+from repro.trees.unranked import UnrankedStructure
+
+
+@pytest.mark.parametrize("nodes", [250, 1_000, 4_000])
+def test_lit_scaling(benchmark, nodes):
+    program = even_a_program(labels=("a", "b"))
+    structure = UnrankedStructure(random_tree(17, nodes, labels=("a", "b")))
+    result = benchmark(evaluate_lit, program, structure)
+    assert result["C0"]

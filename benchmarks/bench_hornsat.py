@@ -1,0 +1,29 @@
+"""E-P3.5 (Proposition 3.5): ground program evaluation is linear.
+
+Random ground Horn programs of growing size; time per rule must stay flat
+(the paper: O(|P| + |sigma|), Dowling-Gallier).
+"""
+
+import random
+
+import pytest
+
+from repro.datalog.hornsat import solve_horn
+
+
+def _random_horn(seed: int, atoms: int, rules: int):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(rules):
+        head = rng.randrange(atoms)
+        body = [rng.randrange(atoms) for _ in range(rng.randint(0, 3))]
+        out.append((head, body))
+    facts = {rng.randrange(atoms) for _ in range(max(1, atoms // 50))}
+    return atoms, out, facts
+
+
+@pytest.mark.parametrize("size", [2_000, 8_000, 32_000])
+def test_hornsat_scales_linearly(benchmark, size):
+    atoms, rules, facts = _random_horn(seed=size, atoms=size, rules=3 * size)
+    result = benchmark(solve_horn, atoms, rules, facts)
+    assert isinstance(result, set)

@@ -1,0 +1,38 @@
+"""E-MSOBLOWUP: the MSO-to-automaton constant is non-elementary in the
+quantifier structure (Frick & Grohe, cited in Sections 1 and 4.2).
+
+A ladder of quantifier-alternating queries: compilation time and automaton
+state counts before minimization grow steeply with nesting depth, while
+evaluating the *compiled* query stays linear (E-T4.4's other half).
+"""
+
+import pytest
+
+from repro.mso import compile_query, parse_mso
+from repro.trees.generate import random_tree
+from repro.trees.unranked import UnrankedStructure
+
+#: Alternation ladder: each level wraps another forall/exists alternation.
+LADDER = {
+    1: "exists y (child(x, y) & label_a(y))",
+    2: "forall y (child(x, y) -> exists z (child(y, z) & label_a(z)))",
+    3: (
+        "forall y (child(x, y) -> exists z (child(y, z) & "
+        "forall w (child(z, w) -> label_a(w))))"
+    ),
+}
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_compile_ladder(benchmark, depth):
+    formula = parse_mso(LADDER[depth])
+    query = benchmark(compile_query, formula, "x", ["a", "b"])
+    assert query.dta.num_states >= 2
+
+
+@pytest.mark.parametrize("nodes", [200, 800])
+def test_compiled_query_evaluates_linearly(benchmark, nodes):
+    query = compile_query(parse_mso(LADDER[2]), "x", ["a", "b"])
+    structure = UnrankedStructure(random_tree(3, nodes, labels=("a", "b")))
+    selected = benchmark(query.select_ids, structure)
+    assert isinstance(selected, set)

@@ -1,0 +1,44 @@
+"""E-T5.2 (Theorem 5.2): normalization into TMNF is linear time with
+linear output size.
+
+Sweep the program size (independent copies of the Example 3.2 program,
+each using child/lastchild-free rules, plus a child/lastchild family) and
+benchmark ``to_tmnf``.
+"""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.tmnf import to_tmnf
+from repro.workloads.programs import wide_program
+
+
+@pytest.mark.parametrize("copies", [2, 8, 32])
+def test_tmnf_translation_scaling(benchmark, copies):
+    program = wide_program(copies)
+    result = benchmark(to_tmnf, program)
+    ok_rules = len(result.program.rules)
+    assert ok_rules >= copies  # sanity
+
+
+def _child_program(chain: int):
+    rules = ["q0(x) :- child(x, y), label_a(y)."]
+    for i in range(1, chain):
+        rules.append(f"q{i}(x) :- lastchild(x, y), q{i - 1}(y).")
+    return parse_program("\n".join(rules), query=f"q{chain - 1}")
+
+
+@pytest.mark.parametrize("chain", [4, 16, 64])
+def test_tmnf_child_elimination_scaling(benchmark, chain):
+    program = _child_program(chain)
+    result = benchmark(to_tmnf, program)
+    assert result.program.rules
+
+
+def test_output_size_linear():
+    sizes = {}
+    for copies in (2, 4, 8, 16):
+        sizes[copies] = len(to_tmnf(wide_program(copies)).program.rules)
+    # Doubling the input must roughly double the output (within 2.6x).
+    for small, large in ((2, 4), (4, 8), (8, 16)):
+        assert sizes[large] <= 2.6 * sizes[small], sizes

@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Every module regenerates one experiment row of EXPERIMENTS.md; run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The sizes are chosen so the full suite finishes in a couple of minutes
+while still exposing the asymptotic shapes the paper claims.
+"""

@@ -1,0 +1,179 @@
+"""Regenerate the measured numbers recorded in EXPERIMENTS.md.
+
+Runs each experiment's parameter sweep directly (no pytest), prints the
+series and linear-fit diagnostics.  Usage::
+
+    python benchmarks/report.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datalog.engine import evaluate
+from repro.datalog.grounding import evaluate_ground
+from repro.datalog.guarded import evaluate_lit
+from repro.datalog.hornsat import solve_horn
+from repro.elog.delta import anbn_program, evaluate_elog_delta
+from repro.elog.parser import parse_elog
+from repro.elog.translate import elog_to_datalog
+from repro.html import parse_html
+from repro.mso import compile_query, parse_mso
+from repro.paper import even_a_program
+from repro.qa.examples import a_beta_qa
+from repro.qa.to_datalog import ranked_qa_to_datalog
+from repro.tmnf import to_tmnf
+from repro.trees.generate import complete_binary_tree, flat_tree, random_tree
+from repro.trees.ranked import RankedStructure
+from repro.trees.unranked import UnrankedStructure
+from repro.workloads import catalog_page
+from repro.workloads.programs import wide_program
+
+
+def _timed(fn, *args, repeat: int = 3):
+    best = float("inf")
+    out = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        out = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def report_t42() -> None:
+    print("== E-T4.2: combined complexity O(|P| * |dom|) ==")
+    program = even_a_program(labels=("a", "b"))
+    print("  data scaling (fixed program, 29 rules incl. atoms):")
+    base = None
+    for nodes in (250, 500, 1000, 2000, 4000):
+        structure = UnrankedStructure(random_tree(42, nodes, labels=("a", "b")))
+        seconds, _ = _timed(evaluate_ground, program, structure)
+        base = base or seconds / nodes
+        print(f"    n={nodes:>5}  t={seconds * 1e3:8.2f} ms   t/n={seconds / nodes * 1e6:6.2f} us (ratio to smallest {seconds / nodes / base:4.2f})")
+    print("  program scaling (fixed tree, 300 nodes):")
+    structure = UnrankedStructure(random_tree(43, 300, labels=("a", "b")))
+    base = None
+    for copies in (2, 4, 8, 16, 32):
+        program = wide_program(copies)
+        size = program.size()
+        seconds, _ = _timed(evaluate_ground, program, structure)
+        base = base or seconds / size
+        print(f"    |P|={size:>5} copies={copies:>3}  t={seconds * 1e3:8.2f} ms   t/|P|={seconds / size * 1e6:6.2f} us (ratio {seconds / size / base:4.2f})")
+
+
+def report_p35() -> None:
+    print("== E-P3.5: Horn-SAT linear ==")
+    import random as _random
+
+    for atoms in (2000, 8000, 32000):
+        rng = _random.Random(atoms)
+        rules = [
+            (rng.randrange(atoms), [rng.randrange(atoms) for _ in range(rng.randint(0, 3))])
+            for _ in range(3 * atoms)
+        ]
+        facts = {rng.randrange(atoms) for _ in range(atoms // 50)}
+        seconds, _ = _timed(solve_horn, atoms, rules, facts)
+        print(f"    atoms={atoms:>6} rules={3 * atoms:>6}  t={seconds * 1e3:8.2f} ms  t/rule={seconds / (3 * atoms) * 1e9:7.1f} ns")
+
+
+def report_p37() -> None:
+    print("== E-P3.7: Datalog LIT O(|P| * |sigma|) ==")
+    program = even_a_program(labels=("a", "b"))
+    for nodes in (250, 1000, 4000):
+        structure = UnrankedStructure(random_tree(17, nodes, labels=("a", "b")))
+        seconds, _ = _timed(evaluate_lit, program, structure)
+        print(f"    n={nodes:>5}  t={seconds * 1e3:8.2f} ms   t/n={seconds / nodes * 1e6:6.2f} us")
+
+
+def report_ex421() -> None:
+    print("== E-EX4.21: QA runs vs datalog simulation ==")
+    for alpha in (1, 2):
+        qa = a_beta_qa(alpha)
+        program = ranked_qa_to_datalog(qa)
+        print(f"  alpha={alpha} (beta={2 ** alpha}), program rules={len(program.rules)}:")
+        for depth in (3, 4, 5, 6):
+            if alpha == 2 and depth > 5:
+                continue
+            tree = complete_binary_tree(depth)
+            n = tree.subtree_size()
+            qa_seconds, run = _timed(qa.run, tree, repeat=1)
+            structure = RankedStructure(tree, max_rank=2)
+            dl_seconds, _ = _timed(evaluate, program, structure, repeat=1)
+            print(
+                f"    depth={depth} n={n:>4}  QA steps={run.steps:>8} "
+                f"QA t={qa_seconds * 1e3:9.2f} ms   datalog t={dl_seconds * 1e3:8.2f} ms"
+            )
+
+
+def report_t52() -> None:
+    print("== E-T5.2: TMNF normalization linear ==")
+    for copies in (2, 8, 32):
+        program = wide_program(copies)
+        seconds, result = _timed(to_tmnf, program)
+        print(
+            f"    |P| rules={len(program.rules):>4}  t={seconds * 1e3:8.2f} ms  "
+            f"output rules={len(result.program.rules):>5} "
+            f"(ratio {len(result.program.rules) / len(program.rules):4.2f})"
+        )
+
+
+def report_c64() -> None:
+    print("== E-C6.4: Elog- evaluation linear ==")
+    wrapper = """
+    record(x) <- root(x0), subelem(x0, 'body.table.tr', x).
+    price(x)  <- record(x0), subelem(x0, 'td', x), nextsibling(y, x).
+    name(x)   <- record(x0), subelem(x0, 'td', x), firstsibling(x).
+    """
+    program = parse_elog(wrapper, query="price")
+    datalog = elog_to_datalog(program)
+    normalized = to_tmnf(datalog).program
+    for items in (20, 80, 320):
+        structure = UnrankedStructure(parse_html(catalog_page(seed=5, items=items)))
+        direct, _ = _timed(evaluate, datalog, structure, "seminaive")
+        ground, _ = _timed(evaluate, normalized, structure, "ground")
+        print(
+            f"    items={items:>4} dom={structure.size:>6}  "
+            f"seminaive t={direct * 1e3:8.2f} ms   TMNF+ground t={ground * 1e3:8.2f} ms"
+        )
+
+
+def report_msoblowup() -> None:
+    print("== E-MSOBLOWUP: MSO compilation vs evaluation ==")
+    ladder = {
+        1: "exists y (child(x, y) & label_a(y))",
+        2: "forall y (child(x, y) -> exists z (child(y, z) & label_a(z)))",
+        3: (
+            "forall y (child(x, y) -> exists z (child(y, z) & "
+            "forall w (child(z, w) -> label_a(w))))"
+        ),
+    }
+    for depth, text in ladder.items():
+        seconds, query = _timed(compile_query, parse_mso(text), "x", ["a", "b"], repeat=1)
+        structure = UnrankedStructure(random_tree(3, 800, labels=("a", "b")))
+        eval_seconds, _ = _timed(query.select_ids, structure)
+        print(
+            f"    alternations={depth}  compile t={seconds * 1e3:9.2f} ms  "
+            f"(minimized states={query.dta.num_states})  "
+            f"evaluate 800 nodes t={eval_seconds * 1e3:7.2f} ms"
+        )
+
+
+def report_t66() -> None:
+    print("== E-T6.6: a^n b^n ==")
+    program = anbn_program()
+    for n in (5, 20, 60):
+        tree = flat_tree("a" * n + "b" * n)
+        seconds, result = _timed(evaluate_elog_delta, program, tree)
+        accepted = 0 in result.unary("anbn")
+        print(f"    n={n:>3}  t={seconds * 1e3:8.2f} ms  accepted={accepted}")
+
+
+if __name__ == "__main__":
+    report_t42()
+    report_p35()
+    report_p37()
+    report_ex421()
+    report_t52()
+    report_c64()
+    report_msoblowup()
+    report_t66()

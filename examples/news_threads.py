@@ -1,0 +1,44 @@
+"""Recursive wrapping: nested comment threads.
+
+News pages carry arbitrarily nested reply threads; a *recursive* Elog-
+program (recursion is first-class in Elog, Section 6.1) extracts every
+comment at any depth, plus its author, and the wrapped tree preserves the
+nesting.
+
+Run:  python examples/news_threads.py
+"""
+
+from repro.elog.parser import parse_elog
+from repro.html import parse_html
+from repro.wrap import Wrapper, to_xml
+from repro.workloads import news_page
+
+
+def main() -> None:
+    document = parse_html(news_page(seed=11, articles=2))
+
+    # 'comment' is recursive: a comment is a li under a top-level comments
+    # list, or a li under the replies list of another comment.
+    program = parse_elog(
+        """
+        article(x) <- root(x0), subelem(x0, 'body.div.div', x).
+        comment(x) <- article(x0), subelem(x0, 'ul.li', x).
+        comment(x) <- comment(x0), subelem(x0, 'ul.li', x).
+        author(x)  <- comment(x0), subelem(x0, 'span', x).
+        """,
+    )
+
+    wrapper = Wrapper()
+    wrapper.add_elog("article", program, pattern="article")
+    wrapper.add_elog("comment", program, pattern="comment")
+    wrapper.add_elog("author", program, pattern="author")
+
+    output = wrapper.wrap(document)
+    print(to_xml(output))
+
+    comments = sum(1 for n in output.iter_subtree() if n.label == "comment")
+    print(f"\nExtracted {comments} comments across all nesting depths.")
+
+
+if __name__ == "__main__":
+    main()

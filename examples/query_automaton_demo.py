@@ -1,0 +1,66 @@
+"""Query automata vs. their datalog simulation (Examples 4.9 / 4.21).
+
+Replays the exact run of Example 4.9, then pits the A_beta family of
+Example 4.21 against its Theorem 4.11 translation: automaton runs blow up
+superpolynomially with the tree while the datalog program stays linear.
+
+Run:  python examples/query_automaton_demo.py
+"""
+
+import time
+
+from repro import RankedStructure, evaluate
+from repro.qa import a_beta_qa, even_a_qa, ranked_qa_to_datalog
+from repro.trees.generate import complete_binary_tree
+from repro.trees.node import Node
+
+
+def main() -> None:
+    # --- Example 4.9: the run c0..c4 ------------------------------------
+    qa = even_a_qa()
+    tree = Node("a", [Node("a"), Node("a")])
+    run = qa.run(tree, trace=True)
+    print("Example 4.9 run on a(a, a):")
+    names = {id(tree): "n0", id(tree.children[0]): "n1", id(tree.children[1]): "n2"}
+    for index, config in enumerate(run.trace):
+        rendered = ", ".join(
+            f"{names[i]} -> {state}" for i, state in sorted(config.items(), key=lambda kv: names[kv[0]])
+        )
+        print(f"  c{index}: {rendered}")
+    print(f"  accepted={run.accepted}, selected={len(run.selected)} (odd counts everywhere)")
+    print()
+
+    # --- Example 4.21: superpolynomial runs vs. linear datalog -----------
+    print("Example 4.21: A_beta run steps vs. datalog simulation")
+    print(f"{'alpha':>5} {'depth':>5} {'n':>6} {'QA steps':>10} {'QA time':>9} {'datalog time':>13}")
+    for alpha in (1, 2):
+        qa_beta = a_beta_qa(alpha)
+        program = ranked_qa_to_datalog(qa_beta)
+        for depth in (2, 3, 4, 5):
+            tree = complete_binary_tree(depth)
+            n = tree.subtree_size()
+
+            start = time.perf_counter()
+            run = qa_beta.run(tree)
+            qa_time = time.perf_counter() - start
+
+            structure = RankedStructure(tree, max_rank=2)
+            start = time.perf_counter()
+            result = evaluate(program, structure)  # auto -> Theorem 4.2 grounding
+            datalog_time = time.perf_counter() - start
+
+            agree = {structure.ident(x) for x in run.selected} == result.query_result()
+            print(
+                f"{alpha:>5} {depth:>5} {n:>6} {run.steps:>10} "
+                f"{qa_time:>8.3f}s {datalog_time:>12.3f}s  agree={agree}"
+            )
+    print()
+    print(
+        "Each node at depth d is visited Theta(beta^d) times by the "
+        "automaton (Example 4.21); the translated program is evaluated "
+        "once per node."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package on older setuptools (no network available to fetch build deps)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""repro -- Monadic Datalog and the Expressive Power of Languages for Web
+Information Extraction (Gottlob & Koch, PODS 2002), reproduced in Python.
+
+The library implements, from scratch:
+
+* ordered labeled trees and the relational schemata ``tau_rk`` / ``tau_ur``
+  (:mod:`repro.trees`);
+* monadic datalog with the paper's linear-time evaluation
+  (:mod:`repro.datalog`);
+* MSO over trees, compiled through bottom-up tree automata to monadic
+  datalog -- Theorem 4.4 made constructive (:mod:`repro.mso`,
+  :mod:`repro.automata`);
+* ranked and unranked query automata with their translations to monadic
+  datalog -- Theorems 4.11 / 4.14 (:mod:`repro.qa`);
+* caterpillar expressions and document order (:mod:`repro.caterpillar`);
+* the TMNF normal form pipeline -- Theorem 5.2 (:mod:`repro.tmnf`);
+* the Elog- and Elog-Delta wrapping languages -- Section 6 (:mod:`repro.elog`);
+* a wrapping layer with output-tree construction and a visual-specification
+  simulator (:mod:`repro.wrap`);
+* a permissive HTML parser front end (:mod:`repro.html`) and synthetic
+  Web-page workloads (:mod:`repro.workloads`).
+
+Quickstart
+----------
+>>> from repro import parse_sexpr, UnrankedStructure, evaluate
+>>> from repro.paper import even_a_program
+>>> tree = parse_sexpr("a(a, a, a)")
+>>> result = evaluate(even_a_program(), UnrankedStructure(tree))
+>>> result.query_result()   # the root has 4 'a' nodes below it -> even
+{0}
+"""
+
+from repro.errors import (
+    AutomatonError,
+    DatalogError,
+    ElogError,
+    HTMLError,
+    MSOError,
+    ParseError,
+    QueryAutomatonError,
+    ReproError,
+    TMNFError,
+    TreeError,
+    WrapError,
+)
+from repro.structures import GenericStructure, Structure
+from repro.trees import (
+    Node,
+    RankedAlphabet,
+    RankedStructure,
+    UnrankedStructure,
+    parse_sexpr,
+    to_sexpr,
+)
+from repro.datalog import (
+    Atom,
+    Constant,
+    Program,
+    Rule,
+    Variable,
+    evaluate,
+    naive_fixpoint_trace,
+    parse_program,
+    parse_rule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "TreeError",
+    "ParseError",
+    "DatalogError",
+    "AutomatonError",
+    "QueryAutomatonError",
+    "MSOError",
+    "TMNFError",
+    "ElogError",
+    "WrapError",
+    "HTMLError",
+    # structures
+    "Structure",
+    "GenericStructure",
+    # trees
+    "Node",
+    "parse_sexpr",
+    "to_sexpr",
+    "UnrankedStructure",
+    "RankedAlphabet",
+    "RankedStructure",
+    # datalog
+    "Variable",
+    "Constant",
+    "Atom",
+    "Rule",
+    "Program",
+    "parse_program",
+    "parse_rule",
+    "evaluate",
+    "naive_fixpoint_trace",
+]

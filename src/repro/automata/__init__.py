@@ -1,0 +1,62 @@
+"""Automata substrate.
+
+Word automata (:mod:`repro.automata.regex`, :mod:`repro.automata.nfa`,
+:mod:`repro.automata.twodfa`) support the constructions of Lemma 5.9
+(caterpillar expressions), Theorem 4.14 (SQAu up/down/stay languages) and
+Corollary 5.12 (containment).
+
+Bottom-up tree automata over the firstchild/nextsibling binary encoding
+(:mod:`repro.automata.treeauto`) are the engine behind the MSO compiler
+(Proposition 2.1, Theorem 4.4); :mod:`repro.automata.unary` evaluates unary
+queries presented by deterministic tree automata in linear time, and
+:mod:`repro.automata.dta_to_datalog` emits the equivalent monadic datalog
+program.
+"""
+
+from repro.automata.regex import (
+    Concat,
+    Empty,
+    Epsilon,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union,
+    concat,
+    star,
+    sym,
+    union,
+)
+from repro.automata.nfa import DFA, NFA, language_equal, language_subset, thompson
+from repro.automata.twodfa import TwoDFA
+from repro.automata.treeauto import DTA, NTA, product, complement, emptiness_witness
+from repro.automata.unary import UnaryQueryDTA
+from repro.automata.dta_to_datalog import unary_dta_to_datalog
+
+__all__ = [
+    "Regex",
+    "Empty",
+    "Epsilon",
+    "Sym",
+    "Concat",
+    "Union",
+    "Star",
+    "Plus",
+    "sym",
+    "concat",
+    "union",
+    "star",
+    "NFA",
+    "DFA",
+    "thompson",
+    "language_subset",
+    "language_equal",
+    "TwoDFA",
+    "NTA",
+    "DTA",
+    "product",
+    "complement",
+    "emptiness_witness",
+    "UnaryQueryDTA",
+    "unary_dta_to_datalog",
+]

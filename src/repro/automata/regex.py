@@ -1,0 +1,222 @@
+"""Regular expressions over arbitrary (hashable) symbol alphabets.
+
+Used for caterpillar expressions (whose "symbols" are tree relations, some
+inverted), for the ``u v* w`` down-transition languages of SQAu
+(Proposition 4.13), and for word-language tests.
+
+The AST is deliberately small: empty language, epsilon, single symbol,
+concatenation, union, Kleene star.  ``Plus`` is provided as sugar
+(``E+ = E.E*``, as in Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterator, Sequence, Set, Tuple
+
+
+class Regex:
+    """Base class of regular-expression nodes."""
+
+    def symbols(self) -> FrozenSet[Hashable]:
+        """The set of alphabet symbols mentioned by the expression."""
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """Whether the language contains the empty word."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """The empty language."""
+
+    def symbols(self) -> FrozenSet[Hashable]:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "<empty>"
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The language containing exactly the empty word."""
+
+    def symbols(self) -> FrozenSet[Hashable]:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "eps"
+
+
+@dataclass(frozen=True)
+class Sym(Regex):
+    """A single alphabet symbol."""
+
+    symbol: Hashable
+
+    def symbols(self) -> FrozenSet[Hashable]:
+        return frozenset([self.symbol])
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return str(self.symbol)
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of two or more expressions."""
+
+    parts: Tuple[Regex, ...]
+
+    def symbols(self) -> FrozenSet[Hashable]:
+        out: Set[Hashable] = set()
+        for part in self.parts:
+            out |= part.symbols()
+        return frozenset(out)
+
+    def nullable(self) -> bool:
+        return all(p.nullable() for p in self.parts)
+
+    def __str__(self) -> str:
+        return ".".join(_wrap(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """Union (disjunction) of two or more expressions."""
+
+    parts: Tuple[Regex, ...]
+
+    def symbols(self) -> FrozenSet[Hashable]:
+        out: Set[Hashable] = set()
+        for part in self.parts:
+            out |= part.symbols()
+        return frozenset(out)
+
+    def nullable(self) -> bool:
+        return any(p.nullable() for p in self.parts)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star."""
+
+    inner: Regex
+
+    def symbols(self) -> FrozenSet[Hashable]:
+        return self.inner.symbols()
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+def _wrap(expr: Regex) -> str:
+    if isinstance(expr, (Union, Concat)):
+        return f"({expr})"
+    return str(expr)
+
+
+def Plus(inner: Regex) -> Regex:
+    """``E+`` as the standard shortcut ``E . E*`` (Section 2)."""
+    return Concat((inner, Star(inner)))
+
+
+# -- convenience constructors ------------------------------------------------
+
+
+def sym(symbol: Hashable) -> Regex:
+    """A single-symbol expression."""
+    return Sym(symbol)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenation, flattening nested concatenations and units."""
+    flat = []
+    for part in parts:
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        elif isinstance(part, Epsilon):
+            continue
+        elif isinstance(part, Empty):
+            return Empty()
+        else:
+            flat.append(part)
+    if not flat:
+        return Epsilon()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*parts: Regex) -> Regex:
+    """Union, flattening nested unions and dropping empty members."""
+    flat = []
+    for part in parts:
+        if isinstance(part, Union):
+            flat.extend(part.parts)
+        elif isinstance(part, Empty):
+            continue
+        else:
+            flat.append(part)
+    if not flat:
+        return Empty()
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+def star(inner: Regex) -> Regex:
+    """Kleene star with unit simplifications."""
+    if isinstance(inner, (Empty, Epsilon)):
+        return Epsilon()
+    if isinstance(inner, Star):
+        return inner
+    return Star(inner)
+
+
+def word(symbols: Sequence[Hashable]) -> Regex:
+    """The expression denoting exactly the given word."""
+    return concat(*[Sym(s) for s in symbols])
+
+
+def enumerate_words(expr: Regex, max_length: int) -> Iterator[Tuple[Hashable, ...]]:
+    """Enumerate all words of the language up to ``max_length`` (for tests).
+
+    Implemented by breadth-first expansion through the Thompson automaton to
+    avoid the combinatorial pitfalls of symbolic derivation.
+    """
+    from repro.automata.nfa import thompson
+
+    nfa = thompson(expr)
+    frontier = [((), nfa.epsilon_closure(nfa.start))]
+    seen_words: Set[Tuple[Hashable, ...]] = set()
+    for _ in range(max_length + 1):
+        next_frontier = []
+        for prefix, states in frontier:
+            if states & nfa.accept and prefix not in seen_words:
+                seen_words.add(prefix)
+                yield prefix
+            if len(prefix) == max_length:
+                continue
+            for symbol in sorted(nfa.alphabet, key=repr):
+                target = nfa.step(states, symbol)
+                if target:
+                    next_frontier.append((prefix + (symbol,), target))
+        frontier = next_frontier
+        if not frontier:
+            return

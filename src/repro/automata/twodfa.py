@@ -1,0 +1,143 @@
+"""Two-way deterministic finite automata with selection functions.
+
+Definition 4.12 requires the stay transition of a strong unranked query
+automaton to be computed by a 2DFA ``B`` over the word of (state, label)
+pairs of a node's children, equipped with a selection function
+``lambda_B : S x Sigma_B -> Q u {bot}`` that assigns a new state to every
+position during the run.
+
+Conventions (the paper leaves them open; documented per DESIGN.md):
+
+* the head starts on the leftmost symbol in the start state;
+* moving right off the last symbol halts the automaton (accepting iff the
+  final state is in ``F_B``); moving left off the first symbol halts and
+  rejects;
+* a missing transition halts and rejects;
+* on empty input the automaton accepts iff the start state is accepting;
+* each position must be assigned exactly one state (over the whole run) by
+  the selection function -- violations raise
+  :class:`repro.errors.QueryAutomatonError`;
+* a repeated (position, state) configuration means the deterministic run
+  loops forever; this raises as well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import QueryAutomatonError
+
+Symbol = Hashable
+LEFT = "L"
+RIGHT = "R"
+
+
+class TwoDFA:
+    """A deterministic two-way automaton with a per-step selection function.
+
+    Parameters
+    ----------
+    states:
+        The state set ``S``.
+    start:
+        Start state ``s0``.
+    transitions:
+        Mapping ``(state, symbol) -> (state', direction)`` with direction
+        ``"L"`` or ``"R"``.
+    accept:
+        Accepting states ``F_B``.
+    selection:
+        Optional mapping ``(state, symbol) -> output`` applied *before*
+        moving whenever defined (the paper's ``lambda_B``; ``bot`` is
+        modeled by simply omitting the key).
+    """
+
+    def __init__(
+        self,
+        states: Set[Hashable],
+        start: Hashable,
+        transitions: Dict[Tuple[Hashable, Symbol], Tuple[Hashable, str]],
+        accept: Set[Hashable],
+        selection: Optional[Dict[Tuple[Hashable, Symbol], Hashable]] = None,
+    ):
+        if start not in states:
+            raise QueryAutomatonError("2DFA start state not in state set")
+        for (state, _), (target, direction) in transitions.items():
+            if state not in states or target not in states:
+                raise QueryAutomatonError("2DFA transition uses unknown state")
+            if direction not in (LEFT, RIGHT):
+                raise QueryAutomatonError(f"bad direction {direction!r}")
+        self.states = set(states)
+        self.start = start
+        self.transitions = dict(transitions)
+        self.accept = set(accept)
+        self.selection = dict(selection or {})
+
+    def run(
+        self, word: Sequence[Symbol], require_total_selection: bool = False
+    ) -> Tuple[bool, List[Optional[Hashable]], int]:
+        """Run the 2DFA on ``word``.
+
+        Returns ``(accepted, assignments, steps)`` where ``assignments[i]``
+        is the selection output for position ``i`` (or ``None``).  With
+        ``require_total_selection`` every position must receive exactly one
+        assignment, as Definition 4.12 demands of stay transitions.
+        """
+        if not word:
+            return self.start in self.accept, [], 0
+
+        assignments: List[Optional[Hashable]] = [None] * len(word)
+        seen: Set[Tuple[int, Hashable]] = set()
+        position = 0
+        state = self.start
+        steps = 0
+        while True:
+            config = (position, state)
+            if config in seen:
+                raise QueryAutomatonError("2DFA run entered an infinite loop")
+            seen.add(config)
+            symbol = word[position]
+            selected = self.selection.get((state, symbol))
+            if selected is not None:
+                if assignments[position] is not None and assignments[position] != selected:
+                    raise QueryAutomatonError(
+                        f"2DFA selection assigned two states to position {position}"
+                    )
+                assignments[position] = selected
+            move = self.transitions.get((state, symbol))
+            if move is None:
+                return False, assignments, steps
+            state, direction = move
+            steps += 1
+            if direction == RIGHT:
+                position += 1
+                if position == len(word):
+                    accepted = state in self.accept
+                    if accepted and require_total_selection:
+                        missing = [i for i, a in enumerate(assignments) if a is None]
+                        if missing:
+                            raise QueryAutomatonError(
+                                f"2DFA selection left positions {missing} unassigned"
+                            )
+                    return accepted, assignments, steps
+            else:
+                position -= 1
+                if position < 0:
+                    return False, assignments, steps
+
+
+def left_to_right_scanner(
+    outputs: Dict[Symbol, Hashable], accept_always: bool = True
+) -> TwoDFA:
+    """A one-pass 2DFA assigning ``outputs[symbol]`` to every position.
+
+    A convenience for building simple stay transitions: the automaton scans
+    left to right once, selecting an output state per symbol.
+    """
+    transitions: Dict[Tuple[Hashable, Symbol], Tuple[Hashable, str]] = {}
+    selection: Dict[Tuple[Hashable, Symbol], Hashable] = {}
+    for symbol, output in outputs.items():
+        transitions[("scan", symbol)] = ("scan", RIGHT)
+        selection[("scan", symbol)] = output
+    accept = {"scan"} if accept_always else set()
+    return TwoDFA({"scan"}, "scan", transitions, accept, selection)

@@ -1,0 +1,57 @@
+"""Caterpillar expressions (Section 2) and their compilation (Lemma 5.9).
+
+A caterpillar expression is a regular expression over the binary relations
+of a tree signature, extended with unary relations (read as identity-pair
+filters) and inversion ``E^-1``:
+
+* :mod:`repro.caterpillar.syntax` -- AST and parser;
+* :mod:`repro.caterpillar.rewrite` -- Propositions 2.3/2.4: pushing
+  inversions down to atomic subexpressions in linear time;
+* :mod:`repro.caterpillar.evaluate` -- the semantics ``[[E]]`` as a binary
+  relation over a tree, and the image ``p.E`` of a node set;
+* :mod:`repro.caterpillar.compile` -- Lemma 5.9: a TMNF monadic datalog
+  program defining ``p.E`` via a Thompson automaton;
+* :mod:`repro.caterpillar.order` -- the document-order expression of
+  Example 2.5 and the ``child`` shortcut of Example 5.10.
+"""
+
+from repro.caterpillar.syntax import (
+    CatExpr,
+    CatAtom,
+    CatConcat,
+    CatInverse,
+    CatStar,
+    CatUnion,
+    cat_atom,
+    cat_concat,
+    cat_inverse,
+    cat_star,
+    cat_union,
+    parse_caterpillar,
+)
+from repro.caterpillar.rewrite import push_inversions
+from repro.caterpillar.evaluate import evaluate_caterpillar, image
+from repro.caterpillar.compile import caterpillar_to_datalog
+from repro.caterpillar.order import child_expression, document_order_expression, total_expression
+
+__all__ = [
+    "CatExpr",
+    "CatAtom",
+    "CatConcat",
+    "CatUnion",
+    "CatStar",
+    "CatInverse",
+    "cat_atom",
+    "cat_concat",
+    "cat_union",
+    "cat_star",
+    "cat_inverse",
+    "parse_caterpillar",
+    "push_inversions",
+    "evaluate_caterpillar",
+    "image",
+    "caterpillar_to_datalog",
+    "document_order_expression",
+    "child_expression",
+    "total_expression",
+]

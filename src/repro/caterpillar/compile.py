@@ -1,0 +1,105 @@
+"""Lemma 5.9: caterpillar expressions compile to TMNF monadic datalog.
+
+Given a unary predicate ``p`` and a caterpillar expression ``E``, the
+program below defines ``p.E = {x | exists x0: p(x0) and (x0, x) in [[E]]}``
+by simulating the Thompson epsilon-NFA of ``E`` (inversions pushed to the
+atoms first, Proposition 2.4):
+
+    s(x)      <- p(x).                      (start state seeding)
+    q2(x)     <- q1(x).                     (epsilon transitions)
+    q2(x)     <- q1(x0), r(x0, x).          (forward relation steps)
+    q2(x)     <- q1(x0), r(x, x0).          (inverted relation steps)
+    q2(x)     <- q1(x), u(x).               (unary filter steps)
+    p.E(x)    <- qf(x).                     (accepting states)
+
+Every rule is in TMNF (Definition 5.1), and the construction is linear in
+``|E|``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.automata.nfa import thompson
+from repro.caterpillar.evaluate import to_word_regex
+from repro.caterpillar.syntax import CatExpr, is_unary_relation
+from repro.datalog.program import Program, Rule
+from repro.datalog.terms import Atom, var
+
+_X = var("x")
+_X0 = var("x0")
+
+
+def caterpillar_to_datalog(
+    expr: CatExpr,
+    source_pred: str,
+    target_pred: str,
+    prefix: str | None = None,
+) -> Tuple[Program, List[str]]:
+    """Emit the TMNF program defining ``target_pred = source_pred . E``.
+
+    Parameters
+    ----------
+    expr:
+        The caterpillar expression ``E``.
+    source_pred:
+        The unary predicate ``p`` seeding the traversal (extensional or
+        defined elsewhere).
+    target_pred:
+        Name for the defined predicate ``p.E``.
+    prefix:
+        Namespace prefix for the automaton-state predicates (defaults to
+        ``target_pred``).
+
+    Returns
+    -------
+    (Program, state_predicates)
+        The rules plus the list of generated state predicate names (callers
+        merging several compilations use them to avoid collisions).
+    """
+    nfa = thompson(to_word_regex(expr))
+    prefix = prefix if prefix is not None else target_pred
+
+    def state_pred(q: int) -> str:
+        return f"{prefix}__q{q}"
+
+    rules: List[Rule] = []
+    for q in nfa.start:
+        rules.append(Rule(Atom(state_pred(q), (_X,)), [Atom(source_pred, (_X,))]))
+    for q1, targets in nfa.epsilon.items():
+        for q2 in targets:
+            rules.append(
+                Rule(Atom(state_pred(q2), (_X,)), [Atom(state_pred(q1), (_X,))])
+            )
+    for (q1, symbol), targets in nfa.transitions.items():
+        name, inverted = symbol
+        for q2 in targets:
+            if is_unary_relation(name):
+                rules.append(
+                    Rule(
+                        Atom(state_pred(q2), (_X,)),
+                        [Atom(state_pred(q1), (_X,)), Atom(name, (_X,))],
+                    )
+                )
+            elif inverted:
+                rules.append(
+                    Rule(
+                        Atom(state_pred(q2), (_X,)),
+                        [Atom(state_pred(q1), (_X0,)), Atom(name, (_X, _X0))],
+                    )
+                )
+            else:
+                rules.append(
+                    Rule(
+                        Atom(state_pred(q2), (_X,)),
+                        [Atom(state_pred(q1), (_X0,)), Atom(name, (_X0, _X))],
+                    )
+                )
+    for q in nfa.accept:
+        rules.append(Rule(Atom(target_pred, (_X,)), [Atom(state_pred(q), (_X,))]))
+
+    state_names = [state_pred(q) for q in range(nfa.num_states)]
+    return (
+        Program(rules, declared=set(state_names) | {target_pred}),
+        state_names,
+    )

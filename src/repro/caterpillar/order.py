@@ -1,0 +1,54 @@
+"""Named caterpillar expressions from the paper's examples.
+
+* Example 2.5: document order
+  ``child+  u  (child^-1)*.nextsibling+.child*`` with
+  ``child = firstchild.nextsibling*``;
+* Example 5.10: the ``child`` shortcut itself;
+* the *total* expression ``(docorder | eps | docorder^-1)`` used by the
+  connectedness step in the proof of Theorem 5.2.
+"""
+
+from __future__ import annotations
+
+from repro.caterpillar.syntax import (
+    CatExpr,
+    cat_atom,
+    cat_concat,
+    cat_inverse,
+    cat_plus,
+    cat_star,
+    cat_union,
+)
+
+
+def child_expression() -> CatExpr:
+    """``child`` over ``tau_ur``: ``firstchild.nextsibling*`` (Example 5.10)."""
+    return cat_concat(cat_atom("firstchild"), cat_star(cat_atom("nextsibling")))
+
+
+def document_order_expression() -> CatExpr:
+    """Document order ``<`` over ``tau_ur`` (Example 2.5).
+
+    ``child+ u (child^-1)*.nextsibling+.child*``: a node precedes its
+    descendants, and precedes everything inside subtrees hanging off right
+    siblings of its ancestors (including itself).
+    """
+    child = child_expression()
+    return cat_union(
+        cat_plus(child),
+        cat_concat(
+            cat_star(cat_inverse(child)),
+            cat_plus(cat_atom("nextsibling")),
+            cat_star(child),
+        ),
+    )
+
+
+def total_expression() -> CatExpr:
+    """The total relation ``(< | eps | <^-1)`` (proof of Theorem 5.2).
+
+    Document order is a total order on ``dom``, so this expression relates
+    every pair of nodes; it is used to connect disconnected rule bodies.
+    """
+    doc = document_order_expression()
+    return cat_union(doc, cat_atom("eps"), cat_inverse(doc))

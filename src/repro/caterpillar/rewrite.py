@@ -1,0 +1,77 @@
+"""Propositions 2.3 / 2.4: pushing inversions to atomic subexpressions.
+
+The identities
+
+    (E.F)^-1   = F^-1 . E^-1
+    (E u F)^-1 = E^-1 u F^-1
+    (E*)^-1    = (E^-1)*
+    (E^-1)^-1  = E
+
+rewrite any caterpillar expression into an equivalent inverse-free one over
+the extended relation alphabet ``Gamma u {R^-1 | R in Gamma}`` in linear
+time.  Unary relations are symmetric (identity pairs), so their inversions
+simply drop.
+"""
+
+from __future__ import annotations
+
+from repro.caterpillar.syntax import (
+    EPSILON_NAME,
+    CatAtom,
+    CatConcat,
+    CatExpr,
+    CatInverse,
+    CatStar,
+    CatUnion,
+    is_unary_relation,
+)
+
+
+def push_inversions(expr: CatExpr) -> CatExpr:
+    """Equivalent expression whose only inversions are on atomic relations.
+
+    >>> from repro.caterpillar.syntax import parse_caterpillar
+    >>> str(push_inversions(parse_caterpillar("(firstchild.nextsibling)^-1")))
+    'nextsibling^-1.firstchild^-1'
+    """
+    return _push(expr, inverted=False)
+
+
+def _push(expr: CatExpr, inverted: bool) -> CatExpr:
+    if isinstance(expr, CatAtom):
+        if expr.name == EPSILON_NAME or is_unary_relation(expr.name):
+            # eps and identity filters are symmetric.
+            return CatAtom(expr.name, False)
+        return CatAtom(expr.name, expr.inverted != inverted)
+    if isinstance(expr, CatInverse):
+        return _push(expr.inner, not inverted)
+    if isinstance(expr, CatStar):
+        return CatStar(_push(expr.inner, inverted))
+    if isinstance(expr, CatUnion):
+        return CatUnion(tuple(_push(p, inverted) for p in expr.parts))
+    if isinstance(expr, CatConcat):
+        parts = expr.parts[::-1] if inverted else expr.parts
+        return CatConcat(tuple(_push(p, inverted) for p in parts))
+    raise TypeError(f"unknown caterpillar node {expr!r}")
+
+
+def atomic_steps(expr: CatExpr) -> set:
+    """All ``(name, inverted)`` atomic steps of an inverse-free expression."""
+    out = set()
+
+    def walk(e: CatExpr) -> None:
+        if isinstance(e, CatAtom):
+            if e.name != EPSILON_NAME:
+                out.add((e.name, e.inverted))
+        elif isinstance(e, (CatConcat, CatUnion)):
+            for p in e.parts:
+                walk(p)
+        elif isinstance(e, CatStar):
+            walk(e.inner)
+        elif isinstance(e, CatInverse):
+            raise ValueError("expression still contains compound inversions")
+        else:
+            raise TypeError(f"unknown caterpillar node {e!r}")
+
+    walk(expr)
+    return out

@@ -1,0 +1,253 @@
+"""Caterpillar expression AST and parser (Section 2).
+
+Grammar (precedence: ``|`` lowest, then ``.``, then postfix ``*``, ``+``,
+``^-1``)::
+
+    expr    ::= seq ("|" seq)*
+    seq     ::= postfix ("." postfix)*
+    postfix ::= primary ("*" | "+" | "^-1")*
+    primary ::= "(" expr ")" | "eps" | name
+
+Atomic names denote binary relations (``firstchild``, ``nextsibling``,
+``child``, ...) or unary relations (``root``, ``leaf``, ``lastsibling``,
+``label_a``, ...); unary relations are interpreted as identity pairs
+``{(x, x) | P(x)}`` as in the paper.
+
+>>> str(parse_caterpillar("firstchild.nextsibling*"))
+'firstchild.nextsibling*'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ParseError
+
+#: Relation names treated as unary (identity filters) by default.
+UNARY_RELATION_NAMES = ("root", "leaf", "lastsibling", "firstsibling", "dom")
+
+
+def is_unary_relation(name: str) -> bool:
+    """Whether ``name`` denotes a unary relation (identity-pair filter)."""
+    return name in UNARY_RELATION_NAMES or name.startswith(
+        ("label_", "notlabel_")
+    )
+
+
+class CatExpr:
+    """Base class of caterpillar expression nodes."""
+
+    def size(self) -> int:
+        """Number of AST nodes (the ``|E|`` of Proposition 2.4)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CatAtom(CatExpr):
+    """An atomic expression: a relation name, or ``eps`` for the empty word.
+
+    ``inverted`` marks an atomic inversion (``R^-1``), the only kind of
+    inversion surviving :func:`repro.caterpillar.rewrite.push_inversions`.
+    """
+
+    name: str
+    inverted: bool = False
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return f"{self.name}^-1" if self.inverted else self.name
+
+
+@dataclass(frozen=True)
+class CatConcat(CatExpr):
+    """Concatenation (relation composition)."""
+
+    parts: Tuple[CatExpr, ...]
+
+    def size(self) -> int:
+        return 1 + sum(p.size() for p in self.parts)
+
+    def __str__(self) -> str:
+        return ".".join(_wrap(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class CatUnion(CatExpr):
+    """Union."""
+
+    parts: Tuple[CatExpr, ...]
+
+    def size(self) -> int:
+        return 1 + sum(p.size() for p in self.parts)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class CatStar(CatExpr):
+    """Reflexive-transitive closure."""
+
+    inner: CatExpr
+
+    def size(self) -> int:
+        return 1 + self.inner.size()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+@dataclass(frozen=True)
+class CatInverse(CatExpr):
+    """Inversion of a compound expression (eliminated by Proposition 2.4)."""
+
+    inner: CatExpr
+
+    def size(self) -> int:
+        return 1 + self.inner.size()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}^-1"
+
+
+def _wrap(e: CatExpr) -> str:
+    if isinstance(e, (CatUnion, CatConcat)):
+        return f"({e})"
+    return str(e)
+
+
+EPSILON_NAME = "eps"
+
+
+def cat_atom(name: str, inverted: bool = False) -> CatAtom:
+    """Atomic expression constructor."""
+    return CatAtom(name, inverted)
+
+
+def cat_concat(*parts: CatExpr) -> CatExpr:
+    """Concatenation with flattening."""
+    flat = []
+    for p in parts:
+        if isinstance(p, CatConcat):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    if not flat:
+        return CatAtom(EPSILON_NAME)
+    return flat[0] if len(flat) == 1 else CatConcat(tuple(flat))
+
+
+def cat_union(*parts: CatExpr) -> CatExpr:
+    """Union with flattening."""
+    flat = []
+    for p in parts:
+        if isinstance(p, CatUnion):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    if not flat:
+        raise ParseError("empty union")
+    return flat[0] if len(flat) == 1 else CatUnion(tuple(flat))
+
+
+def cat_star(inner: CatExpr) -> CatStar:
+    """Kleene star constructor."""
+    return CatStar(inner)
+
+
+def cat_plus(inner: CatExpr) -> CatExpr:
+    """``E+`` as ``E.E*`` (Section 2)."""
+    return cat_concat(inner, CatStar(inner))
+
+
+def cat_inverse(inner: CatExpr) -> CatExpr:
+    """Inversion constructor (atomic inversions fold in place)."""
+    if isinstance(inner, CatAtom) and inner.name != EPSILON_NAME:
+        return CatAtom(inner.name, not inner.inverted)
+    return CatInverse(inner)
+
+
+_NAME_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+
+
+class _Reader:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, position=self.pos)
+
+    def skip(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def parse_expr(self) -> CatExpr:
+        parts = [self.parse_seq()]
+        while self.peek() == "|":
+            self.pos += 1
+            parts.append(self.parse_seq())
+        return cat_union(*parts)
+
+    def parse_seq(self) -> CatExpr:
+        parts = [self.parse_postfix()]
+        while self.peek() == ".":
+            self.pos += 1
+            parts.append(self.parse_postfix())
+        return cat_concat(*parts)
+
+    def parse_postfix(self) -> CatExpr:
+        expr = self.parse_primary()
+        while True:
+            c = self.peek()
+            if c == "*":
+                self.pos += 1
+                expr = cat_star(expr)
+            elif c == "+":
+                self.pos += 1
+                expr = cat_plus(expr)
+            elif c == "^":
+                self.skip()
+                if self.text.startswith("^-1", self.pos):
+                    self.pos += 3
+                    expr = cat_inverse(expr)
+                else:
+                    raise self.error("expected ^-1")
+            else:
+                return expr
+
+    def parse_primary(self) -> CatExpr:
+        c = self.peek()
+        if c == "(":
+            self.pos += 1
+            inner = self.parse_expr()
+            self.skip()
+            if self.peek() != ")":
+                raise self.error("expected ')'")
+            self.pos += 1
+            return inner
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a relation name")
+        return CatAtom(self.text[start : self.pos])
+
+
+def parse_caterpillar(text: str) -> CatExpr:
+    """Parse a caterpillar expression (see module docstring)."""
+    reader = _Reader(text)
+    expr = reader.parse_expr()
+    reader.skip()
+    if reader.pos != len(text):
+        raise reader.error("trailing input after expression")
+    return expr

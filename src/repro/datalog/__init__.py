@@ -1,0 +1,44 @@
+"""Monadic datalog over trees (Sections 3-4 of the paper).
+
+The package provides:
+
+* :mod:`repro.datalog.terms` / :mod:`repro.datalog.program` -- the abstract
+  syntax of datalog (variables, constants, atoms, rules, programs);
+* :mod:`repro.datalog.parser` -- a textual syntax
+  (``head(x) :- body1(x), body2(x, y).``);
+* :mod:`repro.datalog.hornsat` -- the linear-time propositional Horn
+  satisfiability core (Proposition 3.5, Dowling-Gallier);
+* :mod:`repro.datalog.grounding` -- Theorem 4.2's linear-time grounding of
+  connected monadic programs over tree structures;
+* :mod:`repro.datalog.seminaive` -- a general bottom-up engine (semi-naive
+  and naive-with-trace evaluation);
+* :mod:`repro.datalog.guarded` -- the guarded and Datalog LIT fragments
+  (Propositions 3.6 and 3.7);
+* :mod:`repro.datalog.engine` -- the public :func:`evaluate` entry point
+  with automatic strategy selection;
+* :mod:`repro.datalog.analysis` -- query graphs, connectedness, safety and
+  related static analyses;
+* :mod:`repro.datalog.to_mso` -- Proposition 3.3 (monadic datalog is
+  Pi1-MSO definable);
+* :mod:`repro.datalog.containment` -- containment testing utilities
+  (Corollary 4.20 context).
+"""
+
+from repro.datalog.terms import Atom, Constant, Term, Variable
+from repro.datalog.program import Program, Rule
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.engine import EvaluationResult, evaluate, naive_fixpoint_trace
+
+__all__ = [
+    "Term",
+    "Variable",
+    "Constant",
+    "Atom",
+    "Rule",
+    "Program",
+    "parse_program",
+    "parse_rule",
+    "evaluate",
+    "naive_fixpoint_trace",
+    "EvaluationResult",
+]

@@ -1,0 +1,173 @@
+"""Guarded datalog and Datalog LIT (Propositions 3.6 and 3.7).
+
+* Proposition 3.6: a program in which every rule is guarded by an
+  *extensional* atom can be grounded by enumerating the guard's extension,
+  yielding ``O(|P| * |sigma|)`` ground rules, then solved as Horn-SAT.
+* Proposition 3.7 (monadic Datalog LIT): each rule body either consists
+  exclusively of monadic atoms, or contains an extensional guard.  Rules of
+  the first kind are normalized by splitting per variable (non-head
+  variables become propositional "exists" helpers), after which everything
+  grounds in ``O(|P| * |sigma|)``.
+
+Both evaluators share the Horn-SAT core of Proposition 3.5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.datalog.hornsat import AtomInterner, solve_horn
+from repro.datalog.program import Program, Rule
+from repro.datalog.terms import Atom, Constant, Variable
+from repro.errors import DatalogError
+from repro.structures import Structure
+
+GroundAtom = Tuple[str, Tuple[int, ...]]
+
+
+def extensional_guard(rule: Rule, intensional: Set[str]) -> Optional[Atom]:
+    """An extensional body atom containing all rule variables, if any."""
+    all_vars = rule.variables()
+    for atom in rule.body:
+        if atom.pred not in intensional and atom.variables() >= all_vars:
+            return atom
+    return None
+
+
+def is_monadic_lit(program: Program, structure: Structure) -> bool:
+    """Whether the program is in monadic Datalog LIT (Proposition 3.7)."""
+    if not program.is_monadic():
+        return False
+    intensional = program.intensional_predicates()
+    for rule in program.rules:
+        if all(a.arity <= 1 for a in rule.body):
+            continue
+        if extensional_guard(rule, intensional) is None:
+            return False
+    return True
+
+
+def _ground_guarded_rule(
+    rule: Rule,
+    guard: Atom,
+    intensional: Set[str],
+    structure: Structure,
+    out: List[Tuple[GroundAtom, List[GroundAtom]]],
+) -> None:
+    """Instantiate ``rule`` once per tuple of the guard's extension."""
+    guard_relation = structure.relation(guard.pred)
+    for tup in guard_relation:
+        binding: Dict[Variable, int] = {}
+        ok = True
+        for term, value in zip(guard.args, tup):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    ok = False
+                    break
+            elif binding.get(term, value) != value:
+                ok = False
+                break
+            else:
+                binding[term] = value
+        if not ok:
+            continue
+        body_out: List[GroundAtom] = []
+        for atom in rule.body:
+            values = atom.ground_tuple(binding)
+            if atom.pred in intensional:
+                body_out.append((atom.pred, values))
+            elif values not in structure.relation(atom.pred):
+                ok = False
+                break
+        if ok:
+            out.append(((rule.head.pred, rule.head.ground_tuple(binding)), body_out))
+
+
+def _split_monadic_rule(
+    rule: Rule, fresh: List[int], program: Program
+) -> List[Rule]:
+    """Split an all-monadic-body rule per variable.
+
+    ``p(x) <- p1(x), p2(y).`` becomes ``p(x) <- p1(x), b.`` and
+    ``b <- p2(y).`` where ``b`` is propositional; each resulting rule has a
+    single variable and grounds over ``dom`` directly.
+    """
+    head_vars = rule.head.variables()
+    by_var: Dict[Optional[Variable], List[Atom]] = {}
+    for atom in rule.body:
+        atom_vars = list(atom.variables())
+        key = atom_vars[0] if atom_vars else None
+        by_var.setdefault(key, []).append(atom)
+    main_var = next(iter(head_vars)) if head_vars else None
+    main_body = list(by_var.pop(main_var, []))
+    if None in by_var:
+        main_body.extend(by_var.pop(None))
+    out: List[Rule] = []
+    for variable, atoms in by_var.items():
+        fresh[0] += 1
+        name = program.fresh_predicate(f"__lit_{fresh[0]}")
+        out.append(Rule(Atom(name), atoms))
+        main_body.append(Atom(name))
+    out.append(Rule(rule.head, main_body))
+    return out
+
+
+def evaluate_lit(program: Program, structure: Structure) -> Dict[str, Set[Tuple[int, ...]]]:
+    """Evaluate a monadic Datalog LIT program in ``O(|P| * |sigma|)``.
+
+    Raises :class:`DatalogError` when the program is not in the fragment.
+    """
+    if not is_monadic_lit(program, structure):
+        raise DatalogError("program is not in monadic Datalog LIT")
+    intensional = set(program.intensional_predicates())
+
+    # Normalize all-monadic rules to single-variable rules.
+    fresh = [0]
+    normalized: List[Rule] = []
+    for rule in program.rules:
+        if all(a.arity <= 1 for a in rule.body):
+            split = _split_monadic_rule(rule, fresh, program)
+            normalized.extend(split)
+            intensional.update(r.head.pred for r in split)
+        else:
+            normalized.append(rule)
+
+    ground: List[Tuple[GroundAtom, List[GroundAtom]]] = []
+    for rule in normalized:
+        guard = extensional_guard(rule, intensional)
+        if guard is not None and rule.variables():
+            _ground_guarded_rule(rule, guard, intensional, structure, ground)
+            continue
+        variables = list(rule.variables())
+        if len(variables) > 1:
+            raise DatalogError(f"rule not normalizable for LIT grounding: {rule}")
+        seeds = list(structure.domain) if variables else [None]
+        for seed in seeds:
+            binding = {variables[0]: seed} if variables else {}
+            body_out: List[GroundAtom] = []
+            ok = True
+            for atom in rule.body:
+                values = atom.ground_tuple(binding)  # type: ignore[arg-type]
+                if atom.pred in intensional:
+                    body_out.append((atom.pred, values))
+                elif values not in structure.relation(atom.pred):
+                    ok = False
+                    break
+            if ok:
+                head = (rule.head.pred, rule.head.ground_tuple(binding))  # type: ignore[arg-type]
+                ground.append((head, body_out))
+
+    interner = AtomInterner()
+    horn_rules = [
+        (interner.intern(head), [interner.intern(b) for b in body])
+        for head, body in ground
+    ]
+    true_ids = solve_horn(len(interner), horn_rules, [])
+    relations: Dict[str, Set[Tuple[int, ...]]] = {
+        p: set() for p in program.intensional_predicates()
+    }
+    for ident in true_ids:
+        pred, args = interner.key_of(ident)
+        if pred in relations:
+            relations[pred].add(args)
+    return relations

@@ -1,0 +1,123 @@
+"""Linear-time propositional Horn inference (Proposition 3.5).
+
+The minimal model of a ground datalog program plus a set of facts is exactly
+the set of unit consequences of a propositional Horn theory.  We implement
+the classic Dowling-Gallier counter/watch-list algorithm, which runs in time
+linear in the total size of the rule set.
+
+The solver works on integer atom identifiers; :class:`AtomInterner` maps
+arbitrary hashable atom keys (here: ``(pred, arg_tuple)`` pairs) to dense
+integers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+GroundRule = Tuple[int, Sequence[int]]
+
+
+class AtomInterner:
+    """Bidirectional mapping between atom keys and dense integer ids.
+
+    >>> interner = AtomInterner()
+    >>> interner.intern(("p", (1,)))
+    0
+    >>> interner.intern(("p", (1,)))
+    0
+    >>> interner.key_of(0)
+    ('p', (1,))
+    """
+
+    def __init__(self):
+        self._ids: Dict[Hashable, int] = {}
+        self._keys: List[Hashable] = []
+
+    def intern(self, key: Hashable) -> int:
+        """Return the id of ``key``, allocating one if needed."""
+        ident = self._ids.get(key)
+        if ident is None:
+            ident = len(self._keys)
+            self._ids[key] = ident
+            self._keys.append(key)
+        return ident
+
+    def lookup(self, key: Hashable) -> int:
+        """Return the id of ``key`` or ``-1`` if it was never interned."""
+        return self._ids.get(key, -1)
+
+    def key_of(self, ident: int) -> Hashable:
+        """Return the key for a previously allocated id."""
+        return self._keys[ident]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def solve_horn(
+    num_atoms: int,
+    rules: Iterable[GroundRule],
+    facts: Iterable[int],
+) -> Set[int]:
+    """Compute the set of true atoms of a ground Horn program.
+
+    Parameters
+    ----------
+    num_atoms:
+        Number of atom identifiers in use (ids must lie in
+        ``range(num_atoms)``).
+    rules:
+        Iterable of ``(head, body)`` pairs; ``body`` is a sequence of atom
+        ids.  Empty bodies are facts.
+    facts:
+        Additional atom ids that are unconditionally true.
+
+    Returns
+    -------
+    set of int
+        Ids of all derivable atoms (the minimal model).
+
+    Notes
+    -----
+    Runs in ``O(num_atoms + total rule size)`` -- Proposition 3.5 /
+    Dowling & Gallier 1984.
+    """
+    rule_list: List[GroundRule] = list(rules)
+    # Remaining unsatisfied body atoms per rule.
+    counters: List[int] = [0] * len(rule_list)
+    # watch[atom] = rule indexes whose bodies mention the atom.
+    watch: List[List[int]] = [[] for _ in range(num_atoms)]
+
+    true: List[bool] = [False] * num_atoms
+    queue: List[int] = []
+
+    def mark(atom: int) -> None:
+        if not true[atom]:
+            true[atom] = True
+            queue.append(atom)
+
+    for atom in facts:
+        mark(atom)
+
+    for idx, (head, body) in enumerate(rule_list):
+        # Count each occurrence; duplicate body atoms are counted twice and
+        # decremented twice, which keeps the bookkeeping exact.
+        counters[idx] = len(body)
+        if counters[idx] == 0:
+            mark(head)
+        else:
+            for atom in body:
+                watch[atom].append(idx)
+
+    # Unit propagation.  Each (rule, body-atom occurrence) pair is touched at
+    # most once overall, hence linear time.
+    head_of = [r[0] for r in rule_list]
+    while queue:
+        atom = queue.pop()
+        for idx in watch[atom]:
+            counters[idx] -= 1
+            if counters[idx] == 0:
+                mark(head_of[idx])
+        watch[atom] = []
+
+    return {i for i in range(num_atoms) if true[i]}

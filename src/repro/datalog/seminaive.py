@@ -1,0 +1,261 @@
+"""General bottom-up datalog evaluation (naive and semi-naive).
+
+This engine handles arbitrary (not necessarily monadic) datalog over any
+:class:`repro.structures.Structure`.  It is the reference implementation
+against which the specialized linear-time strategies of
+:mod:`repro.datalog.grounding` and :mod:`repro.datalog.guarded` are
+cross-checked, and the fallback for programs outside their fragments (e.g.
+programs using the non-functional ``child`` relation).
+
+The naive iterator also exposes the round-by-round sets ``T^0_P, T^1_P, ...``
+of Definition 3.1, which the test suite uses to replicate Example 3.2's
+fixpoint computation literally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.datalog.program import Program, Rule
+from repro.datalog.terms import Atom, Constant, Variable
+from repro.errors import DatalogError
+from repro.structures import Structure
+
+FactTuple = Tuple[int, ...]
+Relations = Dict[str, Set[FactTuple]]
+
+
+class _StructureIndex:
+    """Cached access to a structure's relations with positional indexes."""
+
+    def __init__(self, structure: Structure):
+        self.structure = structure
+        self._relations: Dict[str, FrozenSet[FactTuple]] = {}
+        self._indexes: Dict[Tuple[str, int], Dict[int, List[FactTuple]]] = {}
+
+    def relation(self, name: str) -> FrozenSet[FactTuple]:
+        if name not in self._relations:
+            self._relations[name] = self.structure.relation(name)
+        return self._relations[name]
+
+    def index(self, name: str, position: int) -> Dict[int, List[FactTuple]]:
+        key = (name, position)
+        if key not in self._indexes:
+            index: Dict[int, List[FactTuple]] = {}
+            for tup in self.relation(name):
+                index.setdefault(tup[position], []).append(tup)
+            self._indexes[key] = index
+        return self._indexes[key]
+
+
+def _candidates(
+    atom: Atom,
+    binding: Dict[Variable, int],
+    intensional: Set[str],
+    facts: Relations,
+    edb: _StructureIndex,
+    override: Optional[Set[FactTuple]] = None,
+) -> Iterator[FactTuple]:
+    """Tuples of ``atom``'s relation compatible with the bound arguments."""
+    if atom.pred in intensional:
+        source: Iterator[FactTuple] = iter(override if override is not None else facts.get(atom.pred, set()))
+        # Filter by bound positions below.
+        bound: List[Tuple[int, int]] = []
+        for i, term in enumerate(atom.args):
+            if isinstance(term, Constant):
+                bound.append((i, term.value))
+            elif term in binding:
+                bound.append((i, binding[term]))
+        for tup in source:
+            if all(tup[i] == v for i, v in bound):
+                yield tup
+        return
+
+    bound = []
+    for i, term in enumerate(atom.args):
+        if isinstance(term, Constant):
+            bound.append((i, term.value))
+        elif term in binding:
+            bound.append((i, binding[term]))
+    if len(bound) == atom.arity and atom.arity > 0:
+        tup = tuple(v for _, v in sorted(bound))
+        if tup in edb.relation(atom.pred):
+            yield tup
+        return
+    if bound and atom.arity == 2:
+        position, value = bound[0]
+        for tup in edb.index(atom.pred, position)[value] if value in edb.index(atom.pred, position) else ():
+            if all(tup[i] == v for i, v in bound):
+                yield tup
+        return
+    for tup in edb.relation(atom.pred):
+        if all(tup[i] == v for i, v in bound):
+            yield tup
+
+
+def _order_body(body: Tuple[Atom, ...], first: Optional[int]) -> List[int]:
+    """Greedy join order: start with ``first`` (the delta atom) if given,
+    then repeatedly pick the atom sharing the most variables with those
+    already placed."""
+    remaining = set(range(len(body)))
+    order: List[int] = []
+    bound_vars: Set[Variable] = set()
+    if first is not None:
+        order.append(first)
+        remaining.discard(first)
+        bound_vars |= body[first].variables()
+    while remaining:
+        best = None
+        best_score = (-1, -1)
+        for i in remaining:
+            atom_vars = body[i].variables()
+            shared = len(atom_vars & bound_vars)
+            grounded = 1 if not atom_vars or atom_vars <= bound_vars else 0
+            score = (grounded, shared)
+            if score > best_score:
+                best_score = score
+                best = i
+        assert best is not None
+        order.append(best)
+        remaining.discard(best)
+        bound_vars |= body[best].variables()
+    return order
+
+
+def _evaluate_rule(
+    rule: Rule,
+    intensional: Set[str],
+    facts: Relations,
+    edb: _StructureIndex,
+    delta_position: Optional[int] = None,
+    delta: Optional[Relations] = None,
+) -> Set[FactTuple]:
+    """All head tuples derivable from ``rule`` under the given databases.
+
+    If ``delta_position`` is given, the body atom at that index is matched
+    against ``delta`` instead of ``facts`` (semi-naive restriction).
+    """
+    order = _order_body(rule.body, delta_position)
+    heads: Set[FactTuple] = set()
+
+    def recurse(depth: int, binding: Dict[Variable, int]) -> None:
+        if depth == len(order):
+            heads.add(rule.head.ground_tuple(binding))
+            return
+        index = order[depth]
+        atom = rule.body[index]
+        override = None
+        if delta_position is not None and index == delta_position and delta is not None:
+            override = delta.get(atom.pred, set())
+        for tup in _candidates(atom, binding, intensional, facts, edb, override):
+            new_binding = binding
+            extended: List[Variable] = []
+            ok = True
+            for term, value in zip(atom.args, tup):
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        ok = False
+                        break
+                elif term in new_binding:
+                    if new_binding[term] != value:
+                        ok = False
+                        break
+                else:
+                    if new_binding is binding:
+                        new_binding = dict(binding)
+                    new_binding[term] = value
+                    extended.append(term)
+            if ok:
+                recurse(depth + 1, new_binding)
+        return
+
+    recurse(0, {})
+    return heads
+
+
+def evaluate_seminaive(program: Program, structure: Structure) -> Relations:
+    """Compute the minimal model's intensional relations (semi-naive).
+
+    Returns a dict mapping each intensional predicate to its set of derived
+    tuples (0-ary predicates map to ``{()}`` when derived).
+    """
+    intensional = program.intensional_predicates()
+    _check_extensional(program, structure, intensional)
+    edb = _StructureIndex(structure)
+    facts: Relations = {p: set() for p in intensional}
+
+    # Round 0: rules without intensional body atoms.
+    delta: Relations = {p: set() for p in intensional}
+    for rule in program.rules:
+        if any(a.pred in intensional for a in rule.body):
+            continue
+        for tup in _evaluate_rule(rule, intensional, facts, edb):
+            if tup not in facts[rule.head.pred]:
+                delta[rule.head.pred].add(tup)
+    for pred, tuples in delta.items():
+        facts[pred] |= tuples
+
+    recursive_rules = [
+        rule
+        for rule in program.rules
+        if any(a.pred in intensional for a in rule.body)
+    ]
+    while any(delta.values()):
+        new: Relations = {p: set() for p in intensional}
+        for rule in recursive_rules:
+            for position, atom in enumerate(rule.body):
+                if atom.pred not in intensional:
+                    continue
+                if not delta.get(atom.pred):
+                    continue
+                for tup in _evaluate_rule(
+                    rule, intensional, facts, edb, position, delta
+                ):
+                    if tup not in facts[rule.head.pred]:
+                        new[rule.head.pred].add(tup)
+        delta = new
+        for pred, tuples in delta.items():
+            facts[pred] |= tuples
+    return facts
+
+
+def naive_rounds(
+    program: Program, structure: Structure
+) -> List[Relations]:
+    """The naive ``T_P`` iteration, round by round (Definition 3.1).
+
+    Returns a list whose ``i``-th entry maps predicates to the atoms first
+    derived in round ``i + 1`` (i.e. ``T^{i+1}_P minus T^i_P`` restricted to
+    intensional predicates).  The extensional database (``T^0_P``) is not
+    included.  Concatenating all rounds gives the fixpoint.
+    """
+    intensional = program.intensional_predicates()
+    _check_extensional(program, structure, intensional)
+    edb = _StructureIndex(structure)
+    facts: Relations = {p: set() for p in intensional}
+    rounds: List[Relations] = []
+    while True:
+        new: Relations = {}
+        for rule in program.rules:
+            for tup in _evaluate_rule(rule, intensional, facts, edb):
+                if tup not in facts[rule.head.pred]:
+                    new.setdefault(rule.head.pred, set()).add(tup)
+        if not new:
+            return rounds
+        for pred, tuples in new.items():
+            facts[pred] |= tuples
+        rounds.append(new)
+
+
+def _check_extensional(
+    program: Program, structure: Structure, intensional: Set[str]
+) -> None:
+    for rule in program.rules:
+        for atom in rule.body:
+            if atom.pred in intensional:
+                continue
+            if not structure.has_relation(atom.pred):
+                raise DatalogError(
+                    f"structure provides no extensional relation {atom.pred!r} "
+                    f"(needed by rule: {rule})"
+                )

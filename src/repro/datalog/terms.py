@@ -1,0 +1,100 @@
+"""Terms and atoms of datalog (Section 3.1).
+
+Atoms are of the form ``p(t1, ..., tm)`` where each ``ti`` is a variable or a
+constant from the (finite) domain.  Zero-ary (propositional) atoms are
+allowed; they arise when disconnected rules are split (proof of Theorem 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple, Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A datalog variable.
+
+    >>> Variable("x") == Variable("x")
+    True
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A domain constant (domain elements are integers).
+
+    >>> str(Constant(3))
+    '3'
+    """
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``pred(args...)``.
+
+    ``args`` may be empty (propositional atom).  Atoms are immutable and
+    hashable, so they can be used in sets directly.
+    """
+
+    pred: str
+    args: Tuple[Term, ...] = ()
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    @property
+    def is_ground(self) -> bool:
+        """Whether the atom contains no variables."""
+        return all(isinstance(t, Constant) for t in self.args)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """The set of variables occurring in the atom."""
+        return frozenset(t for t in self.args if isinstance(t, Variable))
+
+    def substitute(self, binding: Dict[Variable, Term]) -> "Atom":
+        """Apply a substitution, leaving unbound variables in place."""
+        return Atom(
+            self.pred,
+            tuple(binding.get(t, t) if isinstance(t, Variable) else t for t in self.args),
+        )
+
+    def ground_tuple(self, binding: Dict[Variable, int]) -> Tuple[int, ...]:
+        """Evaluate the argument tuple under a total integer valuation."""
+        out = []
+        for t in self.args:
+            if isinstance(t, Constant):
+                out.append(t.value)
+            else:
+                out.append(binding[t])
+        return tuple(out)
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.pred
+        return f"{self.pred}({', '.join(str(t) for t in self.args)})"
+
+
+def var(name: str) -> Variable:
+    """Shorthand constructor for a :class:`Variable`."""
+    return Variable(name)
+
+
+def const(value: int) -> Constant:
+    """Shorthand constructor for a :class:`Constant`."""
+    return Constant(value)

@@ -1,0 +1,44 @@
+"""Elog- and Elog-Delta: the Lixto core wrapping languages (Section 6).
+
+* :mod:`repro.elog.paths` -- the path language ``Pi = (Sigma u {_})*`` and
+  the ``subelem`` / ``contains`` expansions of Definition 6.1;
+* :mod:`repro.elog.syntax` -- Elog- rules and programs (Definition 6.2);
+* :mod:`repro.elog.parser` -- a textual syntax;
+* :mod:`repro.elog.translate` -- Elog- to monadic datalog over
+  ``tau_ur u {child}`` (one half of Theorem 6.5);
+* :mod:`repro.elog.from_datalog` -- TMNF monadic datalog to Elog- (the
+  other half of Theorem 6.5);
+* :mod:`repro.elog.delta` -- Elog-Delta: distance-tolerance ``before`` and
+  ``notbefore`` / ``notafter`` conditions, with the a^n b^n program of
+  Theorem 6.6 and its evaluator.
+"""
+
+from repro.elog.paths import expand_contains, expand_subelem, parse_path
+from repro.elog.syntax import Condition, ElogProgram, ElogRule, PatternRef
+from repro.elog.parser import parse_elog
+from repro.elog.translate import elog_to_datalog, evaluate_elog
+from repro.elog.from_datalog import datalog_to_elog
+from repro.elog.delta import (
+    DeltaCondition,
+    ElogDeltaProgram,
+    anbn_program,
+    evaluate_elog_delta,
+)
+
+__all__ = [
+    "parse_path",
+    "expand_subelem",
+    "expand_contains",
+    "ElogRule",
+    "ElogProgram",
+    "Condition",
+    "PatternRef",
+    "parse_elog",
+    "elog_to_datalog",
+    "evaluate_elog",
+    "datalog_to_elog",
+    "DeltaCondition",
+    "ElogDeltaProgram",
+    "anbn_program",
+    "evaluate_elog_delta",
+]

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so user
+code can catch the whole family with a single ``except`` clause while still
+being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TreeError(ReproError):
+    """Raised for malformed trees or invalid tree operations."""
+
+
+class ParseError(ReproError):
+    """Raised when parsing any of the textual syntaxes fails.
+
+    Used by the s-expression reader, the datalog parser, the MSO parser, the
+    caterpillar-expression parser, the Elog- parser, and the HTML tokenizer.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class DatalogError(ReproError):
+    """Raised for semantically invalid datalog programs.
+
+    Examples: unsafe rules, non-monadic intensional predicates where a
+    monadic program is required, or evaluation over structures that lack a
+    referenced extensional relation.
+    """
+
+
+class AutomatonError(ReproError):
+    """Raised for ill-formed automata or invalid automaton operations."""
+
+
+class QueryAutomatonError(ReproError):
+    """Raised for ill-formed query automata (Definitions 4.8 / 4.12).
+
+    Also raised when a run violates the determinism guarantees the paper
+    assumes (e.g. the U/D partition is broken) or fails to terminate within
+    the configured step budget.
+    """
+
+
+class MSOError(ReproError):
+    """Raised for ill-formed MSO formulas or unsupported constructs."""
+
+
+class TMNFError(ReproError):
+    """Raised when the TMNF normalization pipeline receives input outside
+    the signatures covered by Theorem 5.2."""
+
+
+class ElogError(ReproError):
+    """Raised for invalid Elog-/Elog-Delta programs (Definition 6.2)."""
+
+
+class WrapError(ReproError):
+    """Raised by the wrapping layer (output-tree construction, visual
+    specification sessions)."""
+
+
+class HTMLError(ReproError):
+    """Raised by the HTML front end for irrecoverably malformed input."""

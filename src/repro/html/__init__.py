@@ -1,0 +1,18 @@
+"""A from-scratch permissive HTML front end.
+
+The paper's tree-based wrapping presumes "an existing HTML parser as a
+front end"; none is available offline, so this package implements one:
+
+* :mod:`repro.html.entities` -- character reference decoding;
+* :mod:`repro.html.tokenizer` -- tag/text/comment tokenization with
+  rawtext handling for ``script``/``style``;
+* :mod:`repro.html.parser` -- tree construction with void elements and
+  the common implicit-close rules (``li``, ``p``, ``td``, ``tr``, ...),
+  producing :class:`repro.trees.Node` documents whose labels are tag
+  names and whose text nodes carry the label ``#text``.
+"""
+
+from repro.html.parser import parse_html
+from repro.html.tokenizer import Token, tokenize
+
+__all__ = ["parse_html", "tokenize", "Token"]

@@ -1,0 +1,108 @@
+"""HTML tree construction.
+
+Builds a :class:`repro.trees.Node` document from the token stream:
+
+* labels are lowercased tag names; text nodes carry the label ``#text``
+  with the text in ``node.text``;
+* void elements (``br``, ``img``, ...) never take children;
+* the common implicit-close rules are applied (``<li>`` closes an open
+  ``li``; ``<tr>`` closes ``td``/``th``/``tr``; ``<p>`` closes ``p``;
+  table sections close each other), so the usual "tag soup" of
+  real-world pages yields sensible trees;
+* unmatched end tags are ignored; unclosed elements are closed at end of
+  input;
+* if the input has no single root element, everything is wrapped under a
+  synthetic ``document`` node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.html.tokenizer import Token, tokenize
+from repro.trees.node import Node
+
+#: Elements that never have content.
+VOID_ELEMENTS = {
+    "area", "base", "br", "col", "embed", "hr", "img", "input",
+    "link", "meta", "param", "source", "track", "wbr",
+}
+
+#: opening tag -> set of open tags it implicitly closes (nearest first).
+IMPLICIT_CLOSERS: Dict[str, Set[str]] = {
+    "li": {"li"},
+    "option": {"option"},
+    "p": {"p"},
+    "tr": {"td", "th", "tr"},
+    "td": {"td", "th"},
+    "th": {"td", "th"},
+    "thead": {"tr", "td", "th"},
+    "tbody": {"thead", "tr", "td", "th", "tbody"},
+    "dt": {"dd", "dt"},
+    "dd": {"dd", "dt"},
+}
+
+#: Block elements an implicit closer must not escape.
+_SCOPE_BARRIERS = {"table", "ul", "ol", "dl", "select", "body", "html", "document"}
+
+
+def parse_html(html: str, root_label: str = "document") -> Node:
+    """Parse HTML into a labeled unranked tree.
+
+    >>> tree = parse_html("<ul><li>a<li>b</ul>")
+    >>> str(tree)
+    'ul(li(#text), li(#text))'
+    """
+    synthetic_root = Node(root_label)
+    stack: List[Node] = [synthetic_root]
+
+    def close_until(names: Set[str]) -> None:
+        # Repeatedly close the innermost matching open element, without
+        # crossing a scope barrier (a new <tr> closes an open td *and* the
+        # open tr; a new <li> closes an li through intervening inline
+        # elements).
+        closed = True
+        while closed:
+            closed = False
+            for index in range(len(stack) - 1, 0, -1):
+                label = stack[index].label
+                if label in names:
+                    del stack[index:]
+                    closed = True
+                    break
+                if label in _SCOPE_BARRIERS:
+                    return
+
+    for token in tokenize(html):
+        if token.kind in ("comment", "doctype"):
+            continue
+        if token.kind == "text":
+            text_node = Node("#text", text=token.data)
+            stack[-1].add_child(text_node)
+            continue
+        if token.kind == "start":
+            closers = IMPLICIT_CLOSERS.get(token.name)
+            if closers:
+                close_until(closers)
+            element = Node(token.name, attrs=dict(token.attrs))
+            stack[-1].add_child(element)
+            if token.name not in VOID_ELEMENTS and not token.self_closing:
+                stack.append(element)
+            continue
+        if token.kind == "end":
+            if token.name in VOID_ELEMENTS:
+                continue
+            for index in range(len(stack) - 1, 0, -1):
+                if stack[index].label == token.name:
+                    del stack[index:]
+                    break
+            continue
+
+    # Unwrap the synthetic root when the document has one root element and
+    # no top-level text.
+    children = synthetic_root.children
+    if len(children) == 1 and children[0].label != "#text":
+        root = children[0]
+        root.parent = None
+        return root
+    return synthetic_root

@@ -1,0 +1,149 @@
+"""HTML tokenization.
+
+Produces a flat stream of :class:`Token` values: start tags (with
+attributes and self-closing flag), end tags, text, comments, and doctype
+declarations.  ``script`` and ``style`` contents are treated as rawtext
+(scanned verbatim until the matching close tag), as the HTML standard
+prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.html.entities import decode_entities
+
+RAWTEXT_ELEMENTS = ("script", "style")
+
+
+@dataclass
+class Token:
+    """One HTML token.
+
+    ``kind`` is ``"start"``, ``"end"``, ``"text"``, ``"comment"`` or
+    ``"doctype"``; ``name`` is the tag name (lowercased) for tags;
+    ``data`` is the decoded text/comment payload; ``attrs`` the attribute
+    dictionary; ``self_closing`` marks ``<br/>``-style tags.
+    """
+
+    kind: str
+    name: str = ""
+    data: str = ""
+    attrs: Dict[str, str] = field(default_factory=dict)
+    self_closing: bool = False
+
+
+def _scan_name(text: str, i: int) -> Tuple[str, int]:
+    start = i
+    while i < len(text) and (text[i].isalnum() or text[i] in "-_:"):
+        i += 1
+    return text[start:i].lower(), i
+
+
+def _scan_attributes(text: str, i: int) -> Tuple[Dict[str, str], bool, int]:
+    attrs: Dict[str, str] = {}
+    self_closing = False
+    while i < len(text):
+        while i < len(text) and text[i].isspace():
+            i += 1
+        if i >= len(text):
+            break
+        if text[i] == ">":
+            i += 1
+            return attrs, self_closing, i
+        if text.startswith("/>", i):
+            self_closing = True
+            i += 2
+            return attrs, self_closing, i
+        if text[i] == "/":
+            i += 1
+            continue
+        name, i = _scan_name(text, i)
+        if not name:
+            i += 1
+            continue
+        while i < len(text) and text[i].isspace():
+            i += 1
+        if i < len(text) and text[i] == "=":
+            i += 1
+            while i < len(text) and text[i].isspace():
+                i += 1
+            if i < len(text) and text[i] in "\"'":
+                quote = text[i]
+                end = text.find(quote, i + 1)
+                if end == -1:
+                    end = len(text)
+                attrs[name] = decode_entities(text[i + 1 : end])
+                i = end + 1
+            else:
+                start = i
+                while i < len(text) and not text[i].isspace() and text[i] != ">":
+                    i += 1
+                attrs[name] = decode_entities(text[start:i])
+        else:
+            attrs[name] = ""
+    return attrs, self_closing, i
+
+
+def tokenize(html: str) -> Iterator[Token]:
+    """Tokenize an HTML document (permissive, never raises on bad markup).
+
+    >>> [t.kind for t in tokenize('<p class="x">hi</p>')]
+    ['start', 'text', 'end']
+    """
+    i = 0
+    n = len(html)
+    while i < n:
+        if html[i] != "<":
+            end = html.find("<", i)
+            if end == -1:
+                end = n
+            text = html[i:end]
+            if text.strip():
+                yield Token("text", data=decode_entities(text))
+            i = end
+            continue
+        if html.startswith("<!--", i):
+            end = html.find("-->", i + 4)
+            if end == -1:
+                end = n - 3
+            yield Token("comment", data=html[i + 4 : end])
+            i = end + 3
+            continue
+        if html.startswith("<!", i):
+            end = html.find(">", i + 2)
+            if end == -1:
+                end = n - 1
+            yield Token("doctype", data=html[i + 2 : end].strip())
+            i = end + 1
+            continue
+        if html.startswith("</", i):
+            name, j = _scan_name(html, i + 2)
+            end = html.find(">", j)
+            if end == -1:
+                end = n - 1
+            if name:
+                yield Token("end", name=name)
+            i = end + 1
+            continue
+        name, j = _scan_name(html, i + 1)
+        if not name:
+            # A stray '<' -- treat as text.
+            yield Token("text", data="<")
+            i += 1
+            continue
+        attrs, self_closing, j = _scan_attributes(html, j)
+        yield Token("start", name=name, attrs=attrs, self_closing=self_closing)
+        i = j
+        if name in RAWTEXT_ELEMENTS and not self_closing:
+            close = html.lower().find(f"</{name}", i)
+            if close == -1:
+                close = n
+            raw = html[i:close]
+            if raw.strip():
+                yield Token("text", data=raw)
+            gt = html.find(">", close)
+            if close < n:
+                yield Token("end", name=name)
+            i = (gt + 1) if gt != -1 else n

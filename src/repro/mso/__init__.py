@@ -1,0 +1,63 @@
+"""Monadic second-order logic over unranked trees (Sections 2 and 4.2).
+
+* :mod:`repro.mso.syntax` -- the formula AST (first-order and set
+  variables, atomic relations of ``tau_ur`` plus standard derived relations,
+  boolean connectives, quantifiers);
+* :mod:`repro.mso.parser` -- a small textual syntax;
+* :mod:`repro.mso.naive` -- direct model checking by enumeration (the
+  semantics reference; exponential, for small trees);
+* :mod:`repro.mso.compile` -- compilation to deterministic bottom-up tree
+  automata over the marked binary encoding (the Thatcher-Wright /
+  Doner route behind Proposition 2.1);
+* :mod:`repro.mso.to_datalog` -- Theorem 4.4: every unary MSO query becomes
+  an equivalent monadic datalog program over ``tau_ur``.
+"""
+
+from repro.mso.syntax import (
+    And,
+    Exists,
+    FOVar,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Member,
+    Not,
+    Or,
+    Rel,
+    SOVar,
+    Subset,
+    fo,
+    so,
+    free_variables,
+)
+from repro.mso.parser import parse_mso
+from repro.mso.naive import naive_check, naive_eval, naive_select
+from repro.mso.compile import compile_query, compile_sentence
+from repro.mso.to_datalog import mso_to_datalog
+
+__all__ = [
+    "Formula",
+    "FOVar",
+    "SOVar",
+    "fo",
+    "so",
+    "Rel",
+    "Member",
+    "Subset",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Exists",
+    "Forall",
+    "free_variables",
+    "parse_mso",
+    "naive_eval",
+    "naive_check",
+    "naive_select",
+    "compile_query",
+    "compile_sentence",
+    "mso_to_datalog",
+]

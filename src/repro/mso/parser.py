@@ -1,0 +1,209 @@
+"""A small textual syntax for MSO formulas.
+
+Grammar (precedence low to high: ``<->``, ``->``, ``|``, ``&``, ``~``)::
+
+    formula   ::= iff
+    iff       ::= implies ("<->" implies)*
+    implies   ::= or ("->" or)*            (right associative)
+    or        ::= and ("|" and)*
+    and       ::= unary ("&" unary)*
+    unary     ::= "~" unary | quantifier | primary
+    quantifier::= ("exists" | "forall") var+ "(" formula ")"
+    primary   ::= "(" formula ")" | atom
+    atom      ::= name "(" var ("," var)* ")"
+                | var "in" VAR | VAR "sub" VAR
+                | var "=" var  | var "<" var
+
+First-order variables start with a lowercase letter, second-order (set)
+variables with an uppercase letter.  ``x < y`` denotes document order
+(``before``), ``x = y`` equality.
+
+>>> str(parse_mso("exists y (firstchild(y, x) & label_a(y))"))
+'exists y ((firstchild(y, x) & label_a(y)))'
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ParseError
+from repro.mso.syntax import (
+    And,
+    Exists,
+    FOVar,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Member,
+    Not,
+    Or,
+    Rel,
+    SOVar,
+    Subset,
+)
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CHARS = _IDENT_START | set("0123456789")
+
+
+class _Reader:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, position=self.pos)
+
+    def skip(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek_token(self) -> str:
+        self.skip()
+        if self.pos >= len(self.text):
+            return ""
+        c = self.text[self.pos]
+        if c in _IDENT_START:
+            end = self.pos
+            while end < len(self.text) and self.text[end] in _IDENT_CHARS:
+                end += 1
+            return self.text[self.pos : end]
+        for op in ("<->", "->", "<", "=", "|", "&", "~", "(", ")", ","):
+            if self.text.startswith(op, self.pos):
+                return op
+        return c
+
+    def consume(self, token: str) -> None:
+        if self.peek_token() != token:
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def try_consume(self, token: str) -> bool:
+        if self.peek_token() == token:
+            self.pos += len(token)
+            return True
+        return False
+
+    def identifier(self) -> str:
+        token = self.peek_token()
+        if not token or token[0] not in _IDENT_START:
+            raise self.error("expected an identifier")
+        self.pos += len(token)
+        return token
+
+
+def _variable(name: str):
+    return SOVar(name) if name[0].isupper() else FOVar(name)
+
+
+def _parse_formula(r: _Reader) -> Formula:
+    return _parse_iff(r)
+
+
+def _parse_iff(r: _Reader) -> Formula:
+    left = _parse_implies(r)
+    while r.try_consume("<->"):
+        right = _parse_implies(r)
+        left = Iff(left, right)
+    return left
+
+
+def _parse_implies(r: _Reader) -> Formula:
+    left = _parse_or(r)
+    if r.try_consume("->"):
+        right = _parse_implies(r)
+        return Implies(left, right)
+    return left
+
+
+def _parse_or(r: _Reader) -> Formula:
+    parts = [_parse_and(r)]
+    while r.try_consume("|"):
+        parts.append(_parse_and(r))
+    return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+
+def _parse_and(r: _Reader) -> Formula:
+    parts = [_parse_unary(r)]
+    while r.try_consume("&"):
+        parts.append(_parse_unary(r))
+    return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+
+def _parse_unary(r: _Reader) -> Formula:
+    token = r.peek_token()
+    if token == "~":
+        r.consume("~")
+        return Not(_parse_unary(r))
+    if token in ("exists", "forall"):
+        r.consume(token)
+        variables: List = []
+        while True:
+            name = r.identifier()
+            variables.append(_variable(name))
+            if r.peek_token() == "(":
+                break
+        r.consume("(")
+        body = _parse_formula(r)
+        r.consume(")")
+        for variable in reversed(variables):
+            body = Exists(variable, body) if token == "exists" else Forall(variable, body)
+        return body
+    if token == "(":
+        r.consume("(")
+        inner = _parse_formula(r)
+        r.consume(")")
+        return inner
+    return _parse_atom(r)
+
+
+def _parse_atom(r: _Reader) -> Formula:
+    name = r.identifier()
+    token = r.peek_token()
+    if token == "(":
+        r.consume("(")
+        args = [r.identifier()]
+        while r.try_consume(","):
+            args.append(r.identifier())
+        r.consume(")")
+        variables = []
+        for arg in args:
+            variable = _variable(arg)
+            if isinstance(variable, SOVar):
+                raise r.error(f"set variable {arg!r} in a structural atom")
+            variables.append(variable)
+        return Rel(name, tuple(variables))
+    if token == "in":
+        r.consume("in")
+        container = r.identifier()
+        if not container[0].isupper():
+            raise r.error("the right side of 'in' must be a set variable")
+        if name[0].isupper():
+            raise r.error("the left side of 'in' must be a node variable")
+        return Member(FOVar(name), SOVar(container))
+    if token == "sub":
+        r.consume("sub")
+        right = r.identifier()
+        if not (name[0].isupper() and right[0].isupper()):
+            raise r.error("'sub' relates two set variables")
+        return Subset(SOVar(name), SOVar(right))
+    if token == "=":
+        r.consume("=")
+        right = r.identifier()
+        return Rel("eq", (FOVar(name), FOVar(right)))
+    if token == "<":
+        r.consume("<")
+        right = r.identifier()
+        return Rel("before", (FOVar(name), FOVar(right)))
+    raise r.error(f"unexpected token after {name!r}")
+
+
+def parse_mso(text: str) -> Formula:
+    """Parse an MSO formula from text (see module docstring for grammar)."""
+    reader = _Reader(text)
+    formula = _parse_formula(reader)
+    reader.skip()
+    if reader.pos != len(reader.text):
+        raise reader.error("trailing input after formula")
+    return formula

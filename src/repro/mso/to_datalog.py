@@ -1,0 +1,60 @@
+"""Theorem 4.4: unary MSO queries compile to monadic datalog over ``tau_ur``.
+
+The paper proves the theorem with an (effective but non-constructive as
+stated) Ehrenfeucht-Fraisse type construction.  We realize the same result
+through the classical automata route:
+
+    MSO formula  --(Thatcher-Wright compilation)-->  DTA over the marked
+    binary encoding  --(two-pass decomposition)-->  monadic datalog.
+
+The emitted program has exactly the anatomy of the paper's proof: the
+``st_*``/``fcst_*``/``nsst_*`` predicates compute the bottom-up "types" of
+part (1), the ``acc_*`` predicates the top-down envelope types of part (2),
+and the final selection rules are the combination rules of part (3).
+
+Evaluating the emitted program with the Theorem 4.2 engine gives linear
+data complexity, while the formula-to-automaton step carries the
+non-elementary constant the paper attributes to MSO (Frick & Grohe).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.automata.dta_to_datalog import unary_dta_to_datalog
+from repro.automata.unary import UnaryQueryDTA
+from repro.datalog.program import Program
+from repro.mso.compile import compile_query
+from repro.mso.syntax import Formula
+
+
+def mso_to_datalog(
+    formula: Formula,
+    free_var: str,
+    labels: Sequence[str],
+    query_pred: str = "select",
+) -> Tuple[Program, UnaryQueryDTA]:
+    """Compile a unary MSO query to an equivalent monadic datalog program.
+
+    Parameters
+    ----------
+    formula:
+        MSO formula with exactly one free first-order variable.
+    free_var:
+        The free variable's name.
+    labels:
+        The label alphabet the query will run against (trees containing
+        other labels are rejected by the automaton and must not be passed
+        to the emitted program).
+    query_pred:
+        Name for the program's query predicate.
+
+    Returns
+    -------
+    (Program, UnaryQueryDTA)
+        The datalog program and the intermediate automaton (useful for
+        direct linear-time evaluation and for containment tests).
+    """
+    query = compile_query(formula, free_var, labels)
+    program = unary_dta_to_datalog(query, labels=sorted(set(labels)), query_pred=query_pred)
+    return program, query

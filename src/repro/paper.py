@@ -1,0 +1,110 @@
+"""Canonical artifacts from the paper, as reusable library objects.
+
+This module collects the concrete programs and trees that the paper's
+worked examples are built from, so that tests, benchmarks and user examples
+can reference a single authoritative construction:
+
+* :func:`even_a_program` -- the monadic datalog program of Example 3.2
+  ("roots of subtrees containing an even number of nodes labeled a");
+* :func:`example32_structure` -- the 4-node tree the example is run on;
+* :func:`figure1_structure` -- the 6-node tree of Figure 1 / Example 2.5.
+
+The query automata of Examples 4.9 and 4.21 live in
+:mod:`repro.qa.examples`; the Elog-Delta program of Theorem 6.6 lives in
+:mod:`repro.elog.delta`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datalog.program import Program, Rule
+from repro.datalog.terms import Atom, var
+from repro.trees.generate import example32_tree, figure1_tree
+from repro.trees.unranked import UnrankedStructure
+
+
+def even_a_program(labels: Sequence[str] = ("a", "b")) -> Program:
+    """The Example 3.2 program over alphabet ``labels`` (must contain "a").
+
+    Selects all nodes that are roots of subtrees containing an even number
+    of nodes labeled ``a``.  The intensional predicates are ``B0/B1``
+    (count below, excluding self), ``C0/C1`` (count including self) and
+    ``R0/R1`` (count over the sibling suffix); the query predicate is
+    ``C0``.
+
+    >>> p = even_a_program()
+    >>> p.query
+    'C0'
+    >>> len(p.rules)
+    13
+    """
+    if "a" not in labels:
+        raise ValueError('alphabet must contain the symbol "a"')
+    x, x0 = var("x"), var("x0")
+    rules = [
+        # (1) B0(x) <- leaf(x).
+        Rule(Atom("B0", (x,)), [Atom("leaf", (x,))]),
+    ]
+    # (2) Bi(x0) <- firstchild(x0, x), Ri(x).
+    for i in range(2):
+        rules.append(
+            Rule(
+                Atom(f"B{i}", (x0,)),
+                [Atom("firstchild", (x0, x)), Atom(f"R{i}", (x,))],
+            )
+        )
+    # (3) C_{(i+1) mod 2}(x) <- Bi(x), label_a(x).
+    for i in range(2):
+        rules.append(
+            Rule(
+                Atom(f"C{(i + 1) % 2}", (x,)),
+                [Atom(f"B{i}", (x,)), Atom("label_a", (x,))],
+            )
+        )
+    # (4) Ci(x) <- Bi(x), label_l(x).   for l != a
+    for i in range(2):
+        for label in labels:
+            if label == "a":
+                continue
+            rules.append(
+                Rule(
+                    Atom(f"C{i}", (x,)),
+                    [Atom(f"B{i}", (x,)), Atom(f"label_{label}", (x,))],
+                )
+            )
+    # (5) Ri(x) <- lastsibling(x), Ci(x).
+    for i in range(2):
+        rules.append(
+            Rule(
+                Atom(f"R{i}", (x,)),
+                [Atom("lastsibling", (x,)), Atom(f"C{i}", (x,))],
+            )
+        )
+    # (6) R_{(i+j) mod 2}(x0) <- Cj(x0), nextsibling(x0, x), Ri(x).
+    for i in range(2):
+        for j in range(2):
+            rules.append(
+                Rule(
+                    Atom(f"R{(i + j) % 2}", (x0,)),
+                    [
+                        Atom(f"C{j}", (x0,)),
+                        Atom("nextsibling", (x0, x)),
+                        Atom(f"R{i}", (x,)),
+                    ],
+                )
+            )
+    return Program(rules, query="C0")
+
+
+def example32_structure() -> UnrankedStructure:
+    """The 4-node, all-``a`` tree of Example 3.2 as a ``tau_ur`` structure.
+
+    Node identifiers follow the paper: n1 -> 0, n2 -> 1, n3 -> 2, n4 -> 3.
+    """
+    return UnrankedStructure(example32_tree())
+
+
+def figure1_structure() -> UnrankedStructure:
+    """The 6-node tree of Figure 1 (n1..n6 -> identifiers 0..5)."""
+    return UnrankedStructure(figure1_tree())

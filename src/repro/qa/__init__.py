@@ -1,0 +1,33 @@
+"""Query automata (Section 4.3).
+
+* :mod:`repro.qa.ranked` -- ranked query automata (Definition 4.8): two-way
+  deterministic ranked tree automata with a selection function, executed
+  over cuts, with step counting (Example 4.21);
+* :mod:`repro.qa.unranked` -- strong unranked query automata
+  (Definition 4.12) with ``u v* w`` down-languages, NFA up-languages and
+  2DFA stay transitions;
+* :mod:`repro.qa.examples` -- the paper's concrete automata: the even-``a``
+  automaton of Example 4.9, the ``A_beta`` family of Example 4.21, and
+  SQAu specimens used by the tests;
+* :mod:`repro.qa.to_datalog` -- Theorems 4.11 and 4.14: translations into
+  equivalent monadic datalog programs (including the staged ``u v* w``
+  down-transition encoding of Example 4.15 / Figure 2).
+"""
+
+from repro.qa.ranked import RankedQA, RankedQARun
+from repro.qa.unranked import StrongUnrankedQA, SQAuRun
+from repro.qa.to_datalog import ranked_qa_to_datalog, sqau_to_datalog
+from repro.qa.examples import even_a_qa, a_beta_qa, even_a_sqau, even_position_sqau
+
+__all__ = [
+    "RankedQA",
+    "RankedQARun",
+    "StrongUnrankedQA",
+    "SQAuRun",
+    "ranked_qa_to_datalog",
+    "sqau_to_datalog",
+    "even_a_qa",
+    "a_beta_qa",
+    "even_a_sqau",
+    "even_position_sqau",
+]

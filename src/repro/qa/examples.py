@@ -1,0 +1,213 @@
+"""Concrete query automata from the paper, plus SQAu specimens.
+
+* :func:`even_a_qa` -- Example 4.9: the ranked query automaton selecting
+  roots of subtrees with an even number of ``a``-labeled nodes (binary
+  trees);
+* :func:`a_beta_qa` -- Example 4.21: the family ``A_beta`` whose runs on
+  complete binary trees take ``Theta(n * ((n+1)/2)^alpha)`` steps;
+* :func:`even_a_sqau` -- an SQAu computing the Example 3.2 query on
+  *unranked* trees (up-languages given by parity NFAs), used to cross-check
+  SQAu runs against the datalog program and the MSO pipeline;
+* :func:`even_position_sqau` -- an SQAu whose stay transition (a 2DFA with
+  selection) marks every node at an even sibling position.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set, Tuple
+
+from repro.automata.nfa import NFA
+from repro.automata.twodfa import RIGHT, TwoDFA
+from repro.qa.ranked import RankedQA
+from repro.qa.unranked import StrongUnrankedQA
+
+
+def even_a_qa(labels: Sequence[str] = ("a",)) -> RankedQA:
+    """Example 4.9: even-``a`` subtree roots on full binary trees.
+
+    States ``down`` (descending), ``s0`` / ``s1`` (parity of ``a``-labeled
+    nodes strictly below the current node).  Selection: ``(s0, l)`` for
+    ``l != a`` and ``(s1, a)``.
+    """
+    labels = tuple(labels)
+    states = {"down", "s0", "s1"}
+    down_pairs = {("down", l) for l in labels}
+    up_pairs = {(s, l) for s in ("s0", "s1") for l in labels}
+
+    down = {("down", l, 2): ("down", "down") for l in labels}
+    leaf = {("down", l): "s0" for l in labels}
+    up: Dict[Tuple, str] = {}
+    for i in range(2):
+        for j in range(2):
+            for l1 in labels:
+                for l2 in labels:
+                    parity = (i + j + (l1 == "a") + (l2 == "a")) % 2
+                    up[((f"s{i}", l1), (f"s{j}", l2))] = f"s{parity}"
+    selection = {("s0", l) for l in labels if l != "a"} | {("s1", "a")}
+    return RankedQA(
+        states=states,
+        labels=set(labels),
+        final={"s0", "s1"},
+        start="down",
+        up=up,
+        down=down,
+        root={},
+        leaf=leaf,
+        selection=selection,
+        up_pairs=up_pairs,
+        down_pairs=down_pairs,
+    )
+
+
+def a_beta_qa(alpha: int) -> RankedQA:
+    """Example 4.21: the automaton ``A_beta`` with ``beta = 2^alpha``.
+
+    On a complete binary ``a``-tree each node at depth ``d`` is visited
+    ``Theta(beta^d)`` times, so runs take superpolynomially many steps,
+    while the datalog simulation of Theorem 4.11 stays linear in the tree.
+    """
+    if alpha < 1:
+        raise ValueError("alpha must be >= 1")
+    beta = 2 ** alpha
+    states = {("q", i, j) for i in range(1, beta + 2) for j in range(1, beta + 2)}
+    down_pairs = {
+        (("q", i, j), "a")
+        for i in range(1, beta + 2)
+        for j in range(1, beta + 1)
+    }
+    up_pairs = {(("q", i, beta + 1), "a") for i in range(1, beta + 2)}
+
+    down = {
+        (("q", i, j), "a", 2): (("q", i, 1), ("q", j, 1))
+        for i in range(1, beta + 2)
+        for j in range(1, beta + 1)
+    }
+    leaf = {(("q", i, 1), "a"): ("q", i, beta + 1) for i in range(1, beta + 2)}
+    up = {
+        (
+            (("q", i, beta + 1), "a"),
+            (("q", j, beta + 1), "a"),
+        ): ("q", i, j + 1)
+        for i in range(1, beta + 2)
+        for j in range(1, beta + 1)
+    }
+    final = {("q", 1, beta + 1)}
+    return RankedQA(
+        states=states,
+        labels={"a"},
+        final=final,
+        start=("q", 1, 1),
+        up=up,
+        down=down,
+        root={},
+        leaf=leaf,
+        selection={(("q", 1, beta + 1), "a")},
+        up_pairs=up_pairs,
+        down_pairs=down_pairs,
+    )
+
+
+def _parity_nfa(labels: Sequence[str], accept_parity: int) -> NFA:
+    """NFA over pairs ``((p_i, l))`` accepting words whose total weight
+    ``sum(i + [l == 'a'])`` has the given parity."""
+    alphabet = {(f"p{i}", l) for i in range(2) for l in labels}
+    transitions: Dict[Tuple[int, Tuple[str, str]], Set[int]] = {}
+    for s in range(2):
+        for i in range(2):
+            for l in labels:
+                weight = (i + (l == "a")) % 2
+                transitions[(s, (f"p{i}", l))] = {(s + weight) % 2}
+    return NFA(2, alphabet, transitions, {}, {0}, {accept_parity})
+
+
+def even_a_sqau(labels: Sequence[str] = ("a", "b")) -> StrongUnrankedQA:
+    """An SQAu computing Example 3.2's even-``a`` query on unranked trees.
+
+    State ``p_i`` = parity of ``a``-labeled nodes strictly below the node;
+    the up-language of ``p_i`` is the parity-``i`` word language over
+    children pairs (a 2-state NFA); selection mirrors Example 4.9.
+    """
+    labels = tuple(labels)
+    states = {"down", "p0", "p1"}
+    down_pairs = {("down", l) for l in labels}
+    up_pairs = {(f"p{i}", l) for i in range(2) for l in labels}
+    down = {
+        ("down", l): [((), ("down",), ())] for l in labels
+    }
+    leaf = {("down", l): "p0" for l in labels}
+    up = {"p0": _parity_nfa(labels, 0), "p1": _parity_nfa(labels, 1)}
+    selection = {("p0", l) for l in labels if l != "a"} | {("p1", "a")}
+    return StrongUnrankedQA(
+        states=states,
+        labels=set(labels),
+        final={"p0", "p1"},
+        start="down",
+        down=down,
+        up=up,
+        root={},
+        leaf=leaf,
+        selection=selection,
+        up_pairs=up_pairs,
+        down_pairs=down_pairs,
+    )
+
+
+def _pairs_plus_nfa(state: str, labels: Sequence[str]) -> NFA:
+    """NFA accepting nonempty words of pairs whose state component is
+    ``state`` (any label)."""
+    alphabet = {(state, l) for l in labels}
+    transitions: Dict[Tuple[int, Tuple[str, str]], Set[int]] = {}
+    for l in labels:
+        transitions[(0, (state, l))] = {1}
+        transitions[(1, (state, l))] = {1}
+    return NFA(2, alphabet, transitions, {}, {0}, {1})
+
+
+def even_position_sqau(labels: Sequence[str] = ("a", "b")) -> StrongUnrankedQA:
+    """An SQAu selecting every node at an even (2nd, 4th, ...) sibling
+    position, computed through a stay transition.
+
+    Children are first assigned the scan state; the stay 2DFA walks the
+    sibling word left to right, alternating the selected states ``odd`` /
+    ``even``; subtrees then continue downward, and completed groups move up
+    through the ``done`` up-language.
+    """
+    labels = tuple(labels)
+    states = {"down", "scan", "odd", "even", "done"}
+    down_pairs = {(s, l) for s in ("down", "odd", "even") for l in labels}
+    up_pairs = {(s, l) for s in ("scan", "done") for l in labels}
+
+    down = {
+        (s, l): [((), ("scan",), ())]
+        for s in ("down", "odd", "even")
+        for l in labels
+    }
+    leaf = {(s, l): "done" for s in ("down", "odd", "even") for l in labels}
+    up = {"done": _pairs_plus_nfa("done", labels)}
+
+    stay_gate = _pairs_plus_nfa("scan", labels)
+    stay_transitions = {}
+    stay_selection = {}
+    for l in labels:
+        stay_transitions[("o", ("scan", l))] = ("e", RIGHT)
+        stay_transitions[("e", ("scan", l))] = ("o", RIGHT)
+        stay_selection[("o", ("scan", l))] = "odd"
+        stay_selection[("e", ("scan", l))] = "even"
+    stay = TwoDFA({"o", "e"}, "o", stay_transitions, {"o", "e"}, stay_selection)
+
+    selection = {("even", l) for l in labels}
+    return StrongUnrankedQA(
+        states=states,
+        labels=set(labels),
+        final={"done"},
+        start="down",
+        down=down,
+        up=up,
+        root={},
+        leaf=leaf,
+        selection=selection,
+        up_pairs=up_pairs,
+        down_pairs=down_pairs,
+        stay_gate=stay_gate,
+        stay=stay,
+    )

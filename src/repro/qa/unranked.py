@@ -1,0 +1,251 @@
+"""Strong unranked query automata (Definition 4.12).
+
+A strong unranked query automaton (SQAu) extends the ranked model to
+unbounded fan-out:
+
+* **down** transitions assign the children of a node a *word* of states
+  from a constant-density regular language ``L_down(q, a)``, provided in
+  the paper's normal form as a finite union of ``u v* w`` expressions
+  (Proposition 4.13);
+* **up** transitions read the word of ``(state, label)`` pairs of a
+  complete sibling group and map it to a parent state; each target state
+  ``q`` owns a regular language ``L_up(q)`` given by an NFA, and
+  determinism requires these languages to be pairwise disjoint;
+* **stay** transitions re-assign states to a sibling group through a 2DFA
+  with a selection function (each node may be involved in a stay
+  transition at most once);
+* **root** / **leaf** transitions are as in the ranked case.
+
+Conventions where Definition 4.12 leaves freedom (see DESIGN.md): the
+up/stay decision for a ready sibling group first tries the up-languages; if
+none matches, the stay gate ``U_stay`` is tried; a group matching several
+up-languages is a determinism error.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.nfa import NFA
+from repro.automata.twodfa import TwoDFA
+from repro.errors import QueryAutomatonError
+from repro.trees.node import Node
+
+State = Hashable
+Label = str
+Pair = Tuple[State, Label]
+
+#: A down language in Proposition 4.13 normal form: a list of (u, v, w)
+#: triples of state words.
+UVW = Tuple[Tuple[State, ...], Tuple[State, ...], Tuple[State, ...]]
+
+
+def match_uvw(
+    triples: Sequence[UVW], length: int
+) -> Optional[Tuple[State, ...]]:
+    """The unique word of ``length`` in ``U_i u_i v_i* w_i``, if any.
+
+    Constant density (Proposition 4.13) guarantees at most one word per
+    length across the whole union; the first matching triple is returned.
+    """
+    for u, v, w in triples:
+        base = len(u) + len(w)
+        if len(v) == 0:
+            if length == base:
+                return tuple(u) + tuple(w)
+            continue
+        if length < base or (length - base) % len(v) != 0:
+            continue
+        k = (length - base) // len(v)
+        return tuple(u) + tuple(v) * k + tuple(w)
+    return None
+
+
+class StrongUnrankedQA:
+    """An SQAu with explicit ``U``/``D`` partition.
+
+    Parameters
+    ----------
+    down:
+        ``{(state, label): [(u, v, w), ...]}`` -- the languages
+        ``L_down(q, a)`` in normal form.
+    up:
+        ``{target_state: NFA}`` -- the languages ``L_up(q)`` over the pair
+        alphabet; pairwise disjointness is the automaton designer's
+        responsibility (violations raise at run time).
+    stay_gate:
+        NFA for ``U_stay`` over the pair alphabet (or ``None``).
+    stay:
+        The 2DFA ``B`` computing stay transitions, with its selection
+        function assigning states of this automaton.
+    """
+
+    def __init__(
+        self,
+        states: Set[State],
+        labels: Set[Label],
+        final: Set[State],
+        start: State,
+        down: Dict[Pair, Sequence[UVW]],
+        up: Dict[State, NFA],
+        root: Dict[Pair, State],
+        leaf: Dict[Pair, State],
+        selection: Set[Pair],
+        up_pairs: Set[Pair],
+        down_pairs: Set[Pair],
+        stay_gate: Optional[NFA] = None,
+        stay: Optional[TwoDFA] = None,
+    ):
+        self.states = set(states)
+        self.labels = set(labels)
+        self.final = set(final)
+        self.start = start
+        self.down = {key: list(value) for key, value in down.items()}
+        self.up = dict(up)
+        self.root = dict(root)
+        self.leaf = dict(leaf)
+        self.selection = set(selection)
+        self.up_pairs = set(up_pairs)
+        self.down_pairs = set(down_pairs)
+        self.stay_gate = stay_gate
+        self.stay = stay
+        if self.up_pairs & self.down_pairs:
+            raise QueryAutomatonError("U and D overlap")
+        if (stay_gate is None) != (stay is None):
+            raise QueryAutomatonError("stay gate and stay 2DFA come together")
+
+    def classify(self, state: State, label: Label) -> str:
+        """``"U"`` or ``"D"`` for the given pair."""
+        if (state, label) in self.up_pairs:
+            return "U"
+        if (state, label) in self.down_pairs:
+            return "D"
+        raise QueryAutomatonError(f"pair ({state!r}, {label!r}) unclassified")
+
+    def run(self, tree: Node, max_steps: int = 1_000_000) -> "SQAuRun":
+        """Execute the automaton on ``tree``."""
+        return SQAuRun(self, tree, max_steps)
+
+
+class SQAuRun:
+    """One run of a :class:`StrongUnrankedQA` (see :class:`RankedQARun`
+    for the attribute conventions)."""
+
+    def __init__(self, qa: StrongUnrankedQA, tree: Node, max_steps: int):
+        self.qa = qa
+        self.tree = tree
+        self.steps = 0
+        self._node_by_id = {id(n): n for n in tree.iter_subtree()}
+
+        cut: Dict[int, State] = {id(tree): qa.start}
+        selected_raw: Set[int] = set()
+        stayed: Set[int] = set()  # parents whose stay transition fired
+
+        def note(node: Node, state: State) -> None:
+            if (state, node.label) in qa.selection:
+                selected_raw.add(id(node))
+
+        note(tree, qa.start)
+        agenda = deque([tree])
+        while agenda:
+            if self.steps > max_steps:
+                raise QueryAutomatonError(f"run exceeded {max_steps} steps")
+            node = agenda.popleft()
+            if id(node) not in cut:
+                continue
+            state = cut[id(node)]
+            label = node.label
+            kind = qa.classify(state, label)
+            if kind == "D":
+                if node.is_leaf:
+                    new_state = qa.leaf.get((state, label))
+                    if new_state is None:
+                        continue
+                    cut[id(node)] = new_state
+                    note(node, new_state)
+                    self.steps += 1
+                    agenda.append(node)
+                else:
+                    triples = qa.down.get((state, label))
+                    if triples is None:
+                        continue
+                    word = match_uvw(triples, len(node.children))
+                    if word is None:
+                        continue
+                    del cut[id(node)]
+                    for child, child_state in zip(node.children, word):
+                        cut[id(child)] = child_state
+                        note(child, child_state)
+                        agenda.append(child)
+                    self.steps += 1
+                continue
+            # U pair.
+            if node.parent is None:
+                if len(cut) == 1:
+                    new_state = qa.root.get((state, label))
+                    if new_state is not None:
+                        cut[id(node)] = new_state
+                        note(node, new_state)
+                        self.steps += 1
+                        agenda.append(node)
+                continue
+            parent = node.parent
+            word_pairs: List[Pair] = []
+            ready = True
+            for sibling in parent.children:
+                sibling_state = cut.get(id(sibling))
+                if sibling_state is None:
+                    ready = False
+                    break
+                pair = (sibling_state, sibling.label)
+                if pair not in qa.up_pairs:
+                    ready = False
+                    break
+                word_pairs.append(pair)
+            if not ready:
+                continue
+            # Try up transitions (disjoint languages -> at most one target).
+            targets = [
+                target
+                for target, nfa in qa.up.items()
+                if nfa.accepts(word_pairs)
+            ]
+            if len(targets) > 1:
+                raise QueryAutomatonError(
+                    f"up-languages not disjoint on word {word_pairs}: {targets}"
+                )
+            if targets:
+                for sibling in parent.children:
+                    del cut[id(sibling)]
+                cut[id(parent)] = targets[0]
+                note(parent, targets[0])
+                self.steps += 1
+                agenda.append(parent)
+                continue
+            # Try the stay transition.
+            if (
+                qa.stay_gate is not None
+                and id(parent) not in stayed
+                and qa.stay_gate.accepts(word_pairs)
+            ):
+                stayed.add(id(parent))
+                accepted, assignments, _ = qa.stay.run(
+                    word_pairs, require_total_selection=True
+                )
+                if not accepted:
+                    raise QueryAutomatonError(
+                        f"stay 2DFA rejected a gated word {word_pairs}"
+                    )
+                for sibling, new_state in zip(parent.children, assignments):
+                    cut[id(sibling)] = new_state
+                    note(sibling, new_state)
+                    agenda.append(sibling)
+                self.steps += 1
+
+        root_state = cut.get(id(tree))
+        self.final_cut = cut
+        self.accepted = root_state is not None and root_state in qa.final
+        self.selected: Set[Node] = (
+            {self._node_by_id[i] for i in selected_raw} if self.accepted else set()
+        )

@@ -1,0 +1,170 @@
+"""Finite relational structures.
+
+The paper evaluates (monadic) datalog over two kinds of structures:
+
+* arbitrary finite structures (Propositions 3.4-3.7), and
+* tree structures presented by the schemata ``tau_rk`` / ``tau_ur``
+  (Section 2).
+
+This module defines the minimal interface the datalog engine needs
+(:class:`Structure`) together with :class:`GenericStructure`, a plain
+dictionary-backed implementation used for the "arbitrary finite structure"
+results and in tests.  The tree-backed implementations live in
+:mod:`repro.trees.unranked` and :mod:`repro.trees.ranked`.
+
+Conventions
+-----------
+* The domain is always ``range(n)`` for some ``n >= 0``; domain elements are
+  plain integers.
+* ``relation(name)`` returns a set of tuples, regardless of arity; a unary
+  fact for element ``v`` is the 1-tuple ``(v,)``.
+* ``functional(name)`` exposes the bidirectional functional dependencies of
+  Proposition 4.1 (each binary tree relation is a partial bijection); it
+  returns ``None`` for relations that are not bidirectionally functional,
+  which is how the engine decides whether Theorem 4.2's linear grounding
+  strategy applies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.errors import DatalogError
+
+Fact = Tuple[int, ...]
+
+
+class Structure:
+    """Abstract finite relational structure over domain ``range(size)``."""
+
+    @property
+    def size(self) -> int:
+        """Number of domain elements."""
+        raise NotImplementedError
+
+    @property
+    def domain(self) -> range:
+        """The domain, always ``range(self.size)``."""
+        return range(self.size)
+
+    def has_relation(self, name: str) -> bool:
+        """Return whether this structure can supply relation ``name``."""
+        raise NotImplementedError
+
+    def relation(self, name: str) -> FrozenSet[Fact]:
+        """Return the extension of relation ``name`` as a set of tuples."""
+        raise NotImplementedError
+
+    def arity(self, name: str) -> int:
+        """Return the arity of relation ``name``."""
+        raise NotImplementedError
+
+    def functional(self, name: str) -> Optional[Tuple[Dict[int, int], Dict[int, int]]]:
+        """Forward/backward maps for bidirectionally functional relations.
+
+        Returns ``(forward, backward)`` dictionaries when relation ``name``
+        is binary and satisfies both functional dependencies
+        ``$1 -> $2`` and ``$2 -> $1`` (Proposition 4.1), else ``None``.
+        """
+        return None
+
+    def relation_names(self) -> Iterable[str]:
+        """Iterate over the names of all available relations."""
+        raise NotImplementedError
+
+    # -- convenience -------------------------------------------------------
+
+    def facts(self) -> Set[Tuple[str, Fact]]:
+        """All facts of the structure as ``(relation_name, tuple)`` pairs."""
+        out: Set[Tuple[str, Fact]] = set()
+        for name in self.relation_names():
+            for tup in self.relation(name):
+                out.add((name, tup))
+        return out
+
+    def total_size(self) -> int:
+        """``|sigma|``: domain size plus the number of stored facts."""
+        return self.size + sum(len(self.relation(n)) for n in self.relation_names())
+
+
+class GenericStructure(Structure):
+    """A finite structure given explicitly by its relations.
+
+    Parameters
+    ----------
+    size:
+        Domain size; the domain is ``range(size)``.
+    relations:
+        Mapping from relation name to an iterable of facts.  Unary facts may
+        be given as bare integers; they are normalized to 1-tuples.
+
+    Examples
+    --------
+    >>> s = GenericStructure(3, {"edge": [(0, 1), (1, 2)], "start": [0]})
+    >>> sorted(s.relation("edge"))
+    [(0, 1), (1, 2)]
+    >>> s.arity("start")
+    1
+    """
+
+    def __init__(self, size: int, relations: Dict[str, Iterable]):
+        if size < 0:
+            raise DatalogError("structure size must be non-negative")
+        self._size = size
+        self._relations: Dict[str, FrozenSet[Fact]] = {}
+        self._arities: Dict[str, int] = {}
+        for name, tuples in relations.items():
+            normalized: Set[Fact] = set()
+            for item in tuples:
+                if isinstance(item, int):
+                    fact: Fact = (item,)
+                else:
+                    fact = tuple(item)
+                for value in fact:
+                    if not 0 <= value < size:
+                        raise DatalogError(
+                            f"fact {fact!r} of relation {name!r} is outside "
+                            f"the domain range(0, {size})"
+                        )
+                normalized.add(fact)
+            if normalized:
+                arities = {len(f) for f in normalized}
+                if len(arities) != 1:
+                    raise DatalogError(f"relation {name!r} has mixed arities")
+                self._arities[name] = arities.pop()
+            self._relations[name] = frozenset(normalized)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation(self, name: str) -> FrozenSet[Fact]:
+        if name not in self._relations:
+            raise DatalogError(f"unknown relation {name!r}")
+        return self._relations[name]
+
+    def arity(self, name: str) -> int:
+        if name not in self._arities:
+            # An empty relation has no stored arity; default to 1.
+            if name in self._relations:
+                return 1
+            raise DatalogError(f"unknown relation {name!r}")
+        return self._arities[name]
+
+    def functional(self, name: str) -> Optional[Tuple[Dict[int, int], Dict[int, int]]]:
+        if not self.has_relation(name) or self.arity(name) != 2:
+            return None
+        forward: Dict[int, int] = {}
+        backward: Dict[int, int] = {}
+        for a, b in self.relation(name):
+            if forward.get(a, b) != b or backward.get(b, a) != a:
+                return None
+            forward[a] = b
+            backward[b] = a
+        return forward, backward
+
+    def relation_names(self) -> Iterable[str]:
+        return self._relations.keys()

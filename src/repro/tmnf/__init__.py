@@ -1,0 +1,40 @@
+"""TMNF -- the Tree-Marking Normal Form of Section 5 (Theorem 5.2).
+
+Every monadic datalog program over ``tau_ur u {child, lastchild}`` (or over
+``tau_rk``) rewrites in linear time into an equivalent program whose rules
+all have one of the three shapes of Definition 5.1:
+
+    (1) p(x) <- p0(x).
+    (2) p(x) <- p0(x0), B(x0, x).     B = R or R^-1, R binary in the schema
+    (3) p(x) <- p0(x), p1(x).
+
+Pipeline stages (each an importable function; ``to_tmnf`` runs them all):
+
+* :mod:`repro.tmnf.depth_index` -- Proposition 5.3 depth-index maps;
+* :mod:`repro.tmnf.acyclic` -- Lemmas 5.4 (ranked) and 5.5/5.6 (unranked
+  with ``child``/``lastchild``): rewrite every rule into an acyclic one,
+  detecting unsatisfiable rules;
+* :mod:`repro.tmnf.decompose` -- Lemmas 5.7/5.8: ear decomposition into the
+  three TMNF shapes (still over helper relations ``nextsibling_star`` /
+  ``total``);
+* :mod:`repro.tmnf.pipeline` -- Theorem 5.2: connect disconnected rules
+  with the total caterpillar, then eliminate helper relations via
+  Lemma 5.9's automaton encoding.
+"""
+
+from repro.tmnf.forms import is_tmnf, check_tmnf_rule
+from repro.tmnf.depth_index import depth_index_map
+from repro.tmnf.acyclic import acyclicize_rule_ranked, acyclicize_rule_unranked
+from repro.tmnf.decompose import decompose_rule
+from repro.tmnf.pipeline import TMNFResult, to_tmnf
+
+__all__ = [
+    "is_tmnf",
+    "check_tmnf_rule",
+    "depth_index_map",
+    "acyclicize_rule_ranked",
+    "acyclicize_rule_unranked",
+    "decompose_rule",
+    "to_tmnf",
+    "TMNFResult",
+]

@@ -1,0 +1,278 @@
+"""Lemmas 5.4-5.6: rewriting rules into acyclic ones.
+
+The rewriting "chases" the bidirectional functional dependencies of the
+tree relations (Proposition 4.1): variables that the dependencies force to
+be equal are merged, unsatisfiable rules are detected (and dropped by the
+pipeline), and remaining ``child`` atoms are re-expressed through
+``firstchild`` and the helper relation ``nextsibling_star``.
+
+The paper sequences the merges carefully to achieve a single linear pass;
+we run the same merges as a fixpoint (each round is linear, and the number
+of rounds is bounded by the rule's variable count), which keeps the code
+auditable while preserving the near-linear behaviour benchmarked in
+``benchmarks/bench_tmnf.py``.  Deviation noted in DESIGN.md: Lemma 5.6's
+final "replace lastsibling by lastchild" step is dropped -- ``lastsibling``
+already belongs to ``tau_ur``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.datalog.program import Rule, fresh_variable_factory
+from repro.datalog.terms import Atom, Variable
+from repro.errors import TMNFError
+from repro.tmnf.depth_index import UnionFind, depth_index_map
+
+#: Helper relation name introduced for ``nextsibling*`` atoms (Lemma 5.5).
+NEXTSIBLING_STAR = "nextsibling_star"
+
+
+def _check_variables_only(rule: Rule) -> None:
+    for atom in (rule.head, *rule.body):
+        for term in atom.args:
+            if not isinstance(term, Variable):
+                raise TMNFError(
+                    f"the TMNF pipeline handles variable-only rules; found "
+                    f"constant in {atom}"
+                )
+
+
+def _apply_merges(rule: Rule, uf: UnionFind) -> Rule:
+    mapping: Dict[Variable, Variable] = {}
+    for v in rule.variables():
+        mapping[v] = uf.find(v)
+    new_head = rule.head.substitute(dict(mapping))
+    seen: Set[Atom] = set()
+    body: List[Atom] = []
+    for atom in rule.body:
+        new_atom = atom.substitute(dict(mapping))
+        if new_atom not in seen:
+            seen.add(new_atom)
+            body.append(new_atom)
+    return Rule(new_head, body)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 5.4: ranked trees.
+# ---------------------------------------------------------------------------
+
+
+def acyclicize_rule_ranked(rule: Rule, max_rank: int) -> Optional[Rule]:
+    """Rewrite a rule over ``tau_rk`` into an equivalent acyclic rule.
+
+    Returns ``None`` when the chase proves the rule unsatisfiable.
+    """
+    _check_variables_only(rule)
+    child_names = {f"child{k}" for k in range(1, max_rank + 1)}
+
+    while True:
+        variables = list(rule.variables())
+        edges = [
+            (a.args[0], a.args[1])
+            for a in rule.body
+            if a.pred in child_names
+        ]
+        depth = depth_index_map(variables, edges)
+        if depth is None:
+            return None
+
+        uf = UnionFind()
+        merged = False
+        for name in child_names:
+            # Connected components of this child_k's subgraph.
+            comp = UnionFind()
+            for a in rule.body:
+                if a.pred == name:
+                    comp.union(a.args[0], a.args[1])
+            by_class: Dict[Tuple, List[Variable]] = {}
+            for v in variables:
+                key = (comp.find(v), depth[v])
+                by_class.setdefault(key, []).append(v)
+            for group in by_class.values():
+                for other in group[1:]:
+                    if uf.find(group[0]) != uf.find(other):
+                        uf.union(group[0], other)
+                        merged = True
+        if not merged:
+            break
+        rule = _apply_merges(rule, uf)
+
+    # Remaining cycles can only pair two different child relations on a
+    # common target, which is unsatisfiable (a node is the k-th child for
+    # at most one k); also catch R(x, x) self-loops.
+    from repro.datalog.analysis import is_acyclic
+
+    if not is_acyclic(rule):
+        return None
+    return rule
+
+
+# ---------------------------------------------------------------------------
+# Lemmas 5.5 / 5.6: unranked trees with child / lastchild.
+# ---------------------------------------------------------------------------
+
+
+def expand_lastchild(rule: Rule) -> Rule:
+    """Lemma 5.6 preprocessing: ``lastchild(x, y)`` becomes
+    ``child(x, y), lastsibling(y)``."""
+    body: List[Atom] = []
+    for atom in rule.body:
+        if atom.pred == "lastchild":
+            body.append(Atom("child", atom.args))
+            body.append(Atom("lastsibling", (atom.args[1],)))
+        else:
+            body.append(atom)
+    return Rule(rule.head, body)
+
+
+def _ns_components(rule: Rule) -> Dict[Variable, Set[Variable]]:
+    """Connected components of the nextsibling subgraph (keyed by rep)."""
+    comp = UnionFind()
+    for v in rule.variables():
+        comp.find(v)
+    for atom in rule.body:
+        if atom.pred == "nextsibling":
+            comp.union(atom.args[0], atom.args[1])
+    return comp.groups()
+
+
+def acyclicize_rule_unranked(rule: Rule) -> Optional[Rule]:
+    """Lemma 5.5/5.6: rewrite a rule over ``tau_ur u {child, lastchild}``
+    into an equivalent acyclic rule over ``tau_ur u {nextsibling_star}``.
+
+    Returns ``None`` when the chase proves the rule unsatisfiable.
+    """
+    _check_variables_only(rule)
+    rule = expand_lastchild(rule)
+    fresh = fresh_variable_factory("w")
+
+    # Fixpoint of the three merge chases.
+    while True:
+        variables = list(rule.variables())
+        groups = _ns_components(rule)
+        member_to_rep = {
+            member: rep for rep, members in groups.items() for member in members
+        }
+
+        # Step (1): the coarsened child graph must admit a depth-index map.
+        coarse_edges = set()
+        for atom in rule.body:
+            if atom.pred in ("firstchild", "child"):
+                coarse_edges.add(
+                    (member_to_rep[atom.args[0]], member_to_rep[atom.args[1]])
+                )
+        if depth_index_map(groups.keys(), coarse_edges) is None:
+            return None
+
+        uf = UnionFind()
+        merged = False
+
+        def union(a: Variable, b: Variable) -> None:
+            nonlocal merged
+            if uf.find(a) != uf.find(b):
+                uf.union(a, b)
+                merged = True
+
+        # Chase child/firstchild: $2 -> $1 -- all parents of one
+        # nextsibling-component coincide (steps (1)/(2) of the paper).
+        parents: Dict[Variable, List[Variable]] = {}
+        for atom in rule.body:
+            if atom.pred in ("firstchild", "child"):
+                parents.setdefault(member_to_rep[atom.args[1]], []).append(
+                    atom.args[0]
+                )
+        for parent_list in parents.values():
+            for other in parent_list[1:]:
+                union(parent_list[0], other)
+
+        # Chase nextsibling's bidirectional dependency inside each
+        # component: equal depth => equal variable (steps (3)/(4)).
+        for rep, members in groups.items():
+            ns_edges = [
+                (a.args[0], a.args[1])
+                for a in rule.body
+                if a.pred == "nextsibling"
+                and a.args[0] in members
+                and a.args[1] in members
+            ]
+            depth = depth_index_map(members, ns_edges)
+            if depth is None:
+                return None
+            by_depth: Dict[int, List[Variable]] = {}
+            for v in members:
+                by_depth.setdefault(depth[v], []).append(v)
+            for group in by_depth.values():
+                for other in group[1:]:
+                    union(group[0], other)
+
+        # Chase firstchild: $1 -> $2 -- all firstchild-children of one
+        # variable coincide (step (4)).
+        fc_children: Dict[Variable, List[Variable]] = {}
+        for atom in rule.body:
+            if atom.pred == "firstchild":
+                fc_children.setdefault(atom.args[0], []).append(atom.args[1])
+        for child_list in fc_children.values():
+            for other in child_list[1:]:
+                union(child_list[0], other)
+
+        if not merged:
+            break
+        rule = _apply_merges(rule, uf)
+
+    # Step (5): eliminate child atoms.
+    groups = _ns_components(rule)
+    member_to_rep = {m: rep for rep, ms in groups.items() for m in ms}
+
+    # Chain order within each component, for choosing anchors.
+    chain_depth: Dict[Variable, int] = {}
+    for rep, members in groups.items():
+        ns_edges = [
+            (a.args[0], a.args[1])
+            for a in rule.body
+            if a.pred == "nextsibling" and a.args[0] in members
+        ]
+        depth = depth_index_map(members, ns_edges)
+        if depth is None:
+            return None
+        chain_depth.update(depth)
+
+    body: List[Atom] = [a for a in rule.body if a.pred != "child"]
+    child_targets: Dict[Variable, List[Atom]] = {}
+    for atom in rule.body:
+        if atom.pred == "child":
+            child_targets.setdefault(member_to_rep[atom.args[1]], []).append(atom)
+
+    fc_anchor: Dict[Variable, Variable] = {}
+    fc_of_parent: Dict[Variable, Variable] = {}
+    for atom in rule.body:
+        if atom.pred == "firstchild":
+            fc_anchor[member_to_rep[atom.args[1]]] = atom.args[1]
+            fc_of_parent[atom.args[0]] = atom.args[1]
+
+    for rep, atoms in child_targets.items():
+        members = groups[rep]
+        parent = atoms[0].args[0]  # all parents merged already
+        if rep in fc_anchor:
+            anchor = fc_anchor[rep]
+            # The first child must be the chain minimum, otherwise some
+            # sibling precedes it -- unsatisfiable.
+            if chain_depth[anchor] != min(chain_depth[m] for m in members):
+                return None
+            continue  # child atoms implied by the anchor; already dropped
+        chosen = min(members, key=lambda m: chain_depth[m])
+        if parent in fc_of_parent:
+            body.append(Atom(NEXTSIBLING_STAR, (fc_of_parent[parent], chosen)))
+        else:
+            y0 = fresh()
+            body.append(Atom("firstchild", (parent, y0)))
+            body.append(Atom(NEXTSIBLING_STAR, (y0, chosen)))
+            fc_of_parent[parent] = y0
+
+    result = Rule(rule.head, body)
+    from repro.datalog.analysis import is_acyclic
+
+    if not is_acyclic(result):
+        # Residual cycles indicate conflicting functional atoms.
+        return None
+    return result

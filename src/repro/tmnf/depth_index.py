@@ -1,0 +1,95 @@
+"""Proposition 5.3: depth-index maps of digraphs.
+
+A depth-index map of a digraph ``G = (V, E)`` is a total function
+``d : V -> Z`` with ``d(v) + 1 = d(w)`` iff ``(v, w) in E``.  One exists iff
+all paths between any two nodes have the same length (in particular, iff
+``G`` has no directed cycle reachable in its shadow in an inconsistent way);
+it is computed by a single traversal of the shadow graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+def depth_index_map(
+    nodes: Iterable[Node], edges: Iterable[Edge]
+) -> Optional[Dict[Node, int]]:
+    """Compute a depth-index map, or ``None`` if none exists.
+
+    Each connected component of the shadow graph is anchored at depth 0 for
+    its first-visited node; the relative depths are forced.  After the
+    traversal every edge is re-verified (this also rejects parallel
+    constraints like an edge ``(v, w)`` together with ``(w, v)``).
+
+    >>> depth_index_map("abc", [("a", "b"), ("b", "c")])
+    {'a': 0, 'b': 1, 'c': 2}
+    >>> depth_index_map("ab", [("a", "b"), ("b", "a")]) is None
+    True
+    """
+    node_list = list(nodes)
+    out_edges: Dict[Node, List[Node]] = {}
+    in_edges: Dict[Node, List[Node]] = {}
+    edge_list = list(edges)
+    for source, target in edge_list:
+        out_edges.setdefault(source, []).append(target)
+        in_edges.setdefault(target, []).append(source)
+
+    depth: Dict[Node, int] = {}
+    for start in node_list:
+        if start in depth:
+            continue
+        depth[start] = 0
+        stack: List[Node] = [start]
+        while stack:
+            node = stack.pop()
+            d = depth[node]
+            for successor in out_edges.get(node, ()):
+                if successor in depth:
+                    if depth[successor] != d + 1:
+                        return None
+                else:
+                    depth[successor] = d + 1
+                    stack.append(successor)
+            for predecessor in in_edges.get(node, ()):
+                if predecessor in depth:
+                    if depth[predecessor] != d - 1:
+                        return None
+                else:
+                    depth[predecessor] = d - 1
+                    stack.append(predecessor)
+
+    for source, target in edge_list:
+        if depth[source] + 1 != depth[target]:
+            return None
+    return depth
+
+
+class UnionFind:
+    """Textbook union-find over hashable items (used to merge variables)."""
+
+    def __init__(self):
+        self._parent: Dict[Node, Node] = {}
+
+    def find(self, item: Node) -> Node:
+        parent = self._parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: Node, b: Node) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def groups(self) -> Dict[Node, Set[Node]]:
+        """Map each representative to its equivalence class."""
+        out: Dict[Node, Set[Node]] = {}
+        for item in list(self._parent):
+            out.setdefault(self.find(item), set()).add(item)
+        return out

@@ -1,0 +1,60 @@
+"""Tree substrate: ordered labeled trees and their relational views.
+
+This package implements Section 2 of the paper:
+
+* :mod:`repro.trees.node` -- ordered labeled unranked trees with an
+  s-expression reader/writer;
+* :mod:`repro.trees.unranked` -- the relational schema ``tau_ur``
+  (``root, leaf, label_a, firstchild, nextsibling, lastsibling``) plus the
+  derived relations used elsewhere in the paper (``child, lastchild,
+  firstsibling, nextsibling_star, ...``);
+* :mod:`repro.trees.ranked` -- ranked alphabets and the schema ``tau_rk``
+  (``root, leaf, child_k, label_a``);
+* :mod:`repro.trees.binary` -- the firstchild/nextsibling binary encoding of
+  Figure 1;
+* :mod:`repro.trees.traversal` -- traversals and document order;
+* :mod:`repro.trees.generate` -- deterministic random tree generators for
+  tests and benchmarks.
+"""
+
+from repro.trees.node import Node, parse_sexpr, to_sexpr
+from repro.trees.unranked import UnrankedStructure
+from repro.trees.ranked import RankedAlphabet, RankedStructure, validate_ranked
+from repro.trees.binary import BinNode, decode_binary, encode_binary
+from repro.trees.traversal import (
+    depth_of,
+    document_order,
+    postorder,
+    preorder,
+)
+from repro.trees.generate import (
+    chain_tree,
+    complete_binary_tree,
+    complete_kary_tree,
+    flat_tree,
+    random_binary_tree,
+    random_tree,
+)
+
+__all__ = [
+    "Node",
+    "parse_sexpr",
+    "to_sexpr",
+    "UnrankedStructure",
+    "RankedAlphabet",
+    "RankedStructure",
+    "validate_ranked",
+    "BinNode",
+    "encode_binary",
+    "decode_binary",
+    "preorder",
+    "postorder",
+    "document_order",
+    "depth_of",
+    "random_tree",
+    "random_binary_tree",
+    "complete_binary_tree",
+    "complete_kary_tree",
+    "chain_tree",
+    "flat_tree",
+]

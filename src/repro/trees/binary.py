@@ -1,0 +1,129 @@
+"""The firstchild/nextsibling binary encoding of unranked trees (Figure 1).
+
+An unranked ordered tree is encoded as a binary tree in which the left child
+of a node is its first child in the original tree and the right child is its
+next sibling.  The encoding is a bijection (up to the missing right child of
+the root) and preserves document order: the preorder traversal of the binary
+tree visits nodes in the document order of the original tree.
+
+This encoding is what makes standard ranked tree-automata machinery available
+for unranked trees (Section 4.2: "A binary tree ... is obtained from an
+arbitrary unranked tree by the renaming of 'firstchild' to 'child1' and
+'nextsibling' to 'child2'").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.errors import TreeError
+from repro.trees.node import Node
+
+
+class BinNode:
+    """A node of a firstchild/nextsibling binary encoding.
+
+    Attributes
+    ----------
+    label:
+        Label of the original node.
+    left:
+        Encoding of the original node's first child, or ``None``.
+    right:
+        Encoding of the original node's next sibling, or ``None``.
+    origin:
+        The original :class:`Node` (kept so automaton runs can report
+        selected nodes of the original tree).
+    """
+
+    __slots__ = ("label", "left", "right", "origin")
+
+    def __init__(
+        self,
+        label: str,
+        left: Optional["BinNode"] = None,
+        right: Optional["BinNode"] = None,
+        origin: Optional[Node] = None,
+    ):
+        self.label = label
+        self.left = left
+        self.right = right
+        self.origin = origin
+
+    def iter_preorder(self) -> Iterator["BinNode"]:
+        """Iterate this binary subtree in preorder (= document order)."""
+        stack: List[BinNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def iter_postorder(self) -> Iterator["BinNode"]:
+        """Iterate this binary subtree bottom-up (children before parents)."""
+        stack = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                if node.right is not None:
+                    stack.append((node.right, False))
+                if node.left is not None:
+                    stack.append((node.left, False))
+
+    def size(self) -> int:
+        """Number of nodes in this binary subtree."""
+        return sum(1 for _ in self.iter_preorder())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        left = self.left.label if self.left else "-"
+        right = self.right.label if self.right else "-"
+        return f"BinNode({self.label!r}, left={left}, right={right})"
+
+
+def encode_binary(root: Node) -> BinNode:
+    """Encode the unranked tree rooted at ``root`` (Figure 1 (a) -> (b)).
+
+    >>> from repro.trees import parse_sexpr
+    >>> b = encode_binary(parse_sexpr("a(b, c)"))
+    >>> (b.label, b.left.label, b.left.right.label, b.right)
+    ('a', 'b', 'c', None)
+    """
+    if root.parent is not None:
+        raise TreeError("binary encoding starts from a root node")
+
+    def encode(node: Node) -> BinNode:
+        out = BinNode(node.label, origin=node)
+        # Encode the child list right-to-left, threading next-sibling links.
+        encoded_children = [encode(c) for c in node.children]
+        for left_child, right_child in zip(encoded_children, encoded_children[1:]):
+            left_child.right = right_child
+        if encoded_children:
+            out.left = encoded_children[0]
+        return out
+
+    return encode(root)
+
+
+def decode_binary(root: BinNode) -> Node:
+    """Invert :func:`encode_binary`, producing a fresh unranked tree.
+
+    The binary root must not have a right child (the original root has no
+    next sibling).
+    """
+    if root.right is not None:
+        raise TreeError("a binary encoding root cannot have a right child")
+
+    def decode(bin_node: BinNode) -> Node:
+        node = Node(bin_node.label)
+        child = bin_node.left
+        while child is not None:
+            node.add_child(decode(child))
+            child = child.right
+        return node
+
+    return decode(root)

@@ -1,0 +1,205 @@
+"""Ranked alphabets and the relational schema ``tau_rk``.
+
+Section 2 of the paper represents a ranked tree as the structure::
+
+    t_rk = <dom, root, leaf, (child_k)_{k <= K}, (label_a)_{a in Sigma}>
+
+where each symbol ``a`` has a fixed rank (arity) and a node labeled with a
+rank-``k`` symbol has exactly ``k`` children.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import DatalogError, TreeError
+from repro.structures import Fact, Structure
+from repro.trees.node import Node
+
+
+class RankedAlphabet:
+    """A finite alphabet in which every symbol has a fixed rank.
+
+    >>> sigma = RankedAlphabet({"a": 2, "b": 0})
+    >>> sigma.rank("a")
+    2
+    >>> sigma.max_rank
+    2
+    """
+
+    def __init__(self, ranks: Dict[str, int]):
+        if not ranks:
+            raise TreeError("ranked alphabet must be nonempty")
+        for symbol, rank in ranks.items():
+            if rank < 0:
+                raise TreeError(f"symbol {symbol!r} has negative rank")
+        self._ranks = dict(ranks)
+
+    def rank(self, symbol: str) -> int:
+        """The rank of ``symbol``."""
+        if symbol not in self._ranks:
+            raise TreeError(f"symbol {symbol!r} not in ranked alphabet")
+        return self._ranks[symbol]
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._ranks
+
+    def symbols(self) -> Iterable[str]:
+        """All symbols of the alphabet."""
+        return self._ranks.keys()
+
+    def symbols_of_rank(self, k: int) -> List[str]:
+        """Symbols of rank exactly ``k`` (the partition Sigma_k)."""
+        return sorted(s for s, r in self._ranks.items() if r == k)
+
+    @property
+    def max_rank(self) -> int:
+        """The maximum rank ``K``."""
+        return max(self._ranks.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"RankedAlphabet({self._ranks!r})"
+
+
+def validate_ranked(root: Node, alphabet: RankedAlphabet) -> None:
+    """Check that every node's child count matches its label's rank.
+
+    Raises :class:`TreeError` on the first violation.
+    """
+    for node in root.iter_subtree():
+        expected = alphabet.rank(node.label)
+        if len(node.children) != expected:
+            raise TreeError(
+                f"node labeled {node.label!r} has {len(node.children)} "
+                f"children but rank {expected}"
+            )
+
+
+class RankedStructure(Structure):
+    """Relational view of a ranked tree (schema ``tau_rk``).
+
+    Node identifiers are assigned in document order.  The binary relations
+    ``child1 .. childK`` each satisfy both functional dependencies of
+    Proposition 4.1.
+
+    >>> from repro.trees import parse_sexpr
+    >>> sigma = RankedAlphabet({"f": 2, "c": 0})
+    >>> s = RankedStructure(parse_sexpr("f(c, f(c, c))"), sigma)
+    >>> sorted(s.relation("child2"))
+    [(0, 2), (2, 4)]
+    """
+
+    def __init__(
+        self,
+        root: Node,
+        alphabet: Optional[RankedAlphabet] = None,
+        max_rank: Optional[int] = None,
+    ):
+        """Build the view; with an explicit ``alphabet`` the tree is
+        validated against it, otherwise ranks are taken from the tree
+        itself (Example 4.9 uses the same label at several ranks, which
+        the paper glosses by partitioning Sigma implicitly)."""
+        if alphabet is not None:
+            validate_ranked(root, alphabet)
+        else:
+            k = max_rank if max_rank is not None else max(
+                len(n.children) for n in root.iter_subtree()
+            )
+            labels = {n.label for n in root.iter_subtree()}
+            alphabet = RankedAlphabet({label: max(k, 1) for label in labels})
+        self._root = root
+        self._alphabet = alphabet
+        self._nodes: List[Node] = list(root.iter_subtree())
+        self._ids: Dict[int, int] = {id(n): i for i, n in enumerate(self._nodes)}
+        self._cache: Dict[str, FrozenSet[Fact]] = {}
+        self._functional_cache: Dict[str, Tuple[Dict[int, int], Dict[int, int]]] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def alphabet(self) -> RankedAlphabet:
+        """The ranked alphabet of the tree."""
+        return self._alphabet
+
+    @property
+    def root_node(self) -> Node:
+        """The underlying root :class:`Node`."""
+        return self._root
+
+    def node(self, ident: int) -> Node:
+        """The :class:`Node` with identifier ``ident``."""
+        return self._nodes[ident]
+
+    def ident(self, node: Node) -> int:
+        """The identifier of ``node``."""
+        try:
+            return self._ids[id(node)]
+        except KeyError:
+            raise TreeError("node does not belong to this structure") from None
+
+    def label_of(self, ident: int) -> str:
+        """Label of the node with identifier ``ident``."""
+        return self._nodes[ident].label
+
+    def has_relation(self, name: str) -> bool:
+        try:
+            self.relation(name)
+            return True
+        except DatalogError:
+            return False
+
+    def arity(self, name: str) -> int:
+        if name in ("dom", "root", "leaf") or name.startswith(("label_", "notlabel_")):
+            return 1
+        return 2
+
+    def relation(self, name: str) -> FrozenSet[Fact]:
+        if name not in self._cache:
+            self._cache[name] = frozenset(self._compute(name))
+        return self._cache[name]
+
+    def functional(self, name: str) -> Optional[Tuple[Dict[int, int], Dict[int, int]]]:
+        if not name.startswith("child") or not name[len("child") :].isdigit():
+            return None
+        if name not in self._functional_cache:
+            forward: Dict[int, int] = {}
+            backward: Dict[int, int] = {}
+            for a, b in self.relation(name):
+                forward[a] = b
+                backward[b] = a
+            self._functional_cache[name] = (forward, backward)
+        return self._functional_cache[name]
+
+    def relation_names(self) -> Iterable[str]:
+        names = ["dom", "root", "leaf"]
+        names.extend(f"child{k}" for k in range(1, self._alphabet.max_rank + 1))
+        names.extend(sorted(f"label_{a}" for a in self._alphabet.symbols()))
+        return names
+
+    def _compute(self, name: str) -> Set[Fact]:
+        nodes = self._nodes
+        ids = self._ids
+        if name == "dom":
+            return {(i,) for i in range(len(nodes))}
+        if name == "root":
+            return {(0,)} if nodes else set()
+        if name == "leaf":
+            return {(i,) for i, n in enumerate(nodes) if n.is_leaf}
+        if name.startswith("label_"):
+            label = name[len("label_") :]
+            return {(i,) for i, n in enumerate(nodes) if n.label == label}
+        if name.startswith("notlabel_"):
+            label = name[len("notlabel_") :]
+            return {(i,) for i, n in enumerate(nodes) if n.label != label}
+        if name.startswith("child") and name[len("child") :].isdigit():
+            k = int(name[len("child") :])
+            if not 1 <= k <= self._alphabet.max_rank:
+                raise DatalogError(f"child index {k} out of range")
+            out: Set[Fact] = set()
+            for i, n in enumerate(nodes):
+                if len(n.children) >= k:
+                    out.add((i, ids[id(n.children[k - 1])]))
+            return out
+        raise DatalogError(f"unknown relation {name!r} over tau_rk")

@@ -1,0 +1,65 @@
+"""Tree traversals and document order.
+
+Document order (Example 2.5) is the order in which opening tags are first
+reached when reading the document left to right -- i.e. preorder.  The
+structures in :mod:`repro.trees.unranked` assign node identifiers in document
+order, so comparing identifiers compares document positions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.trees.node import Node
+
+
+def preorder(root: Node) -> Iterator[Node]:
+    """Iterate the subtree of ``root`` in document (pre-) order."""
+    return root.iter_subtree()
+
+
+def postorder(root: Node) -> Iterator[Node]:
+    """Iterate the subtree of ``root`` in postorder (children first)."""
+    stack: List[Tuple[Node, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+        else:
+            stack.append((node, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
+
+
+def document_order(root: Node) -> List[Node]:
+    """The nodes of the tree as a list in document order."""
+    return list(preorder(root))
+
+
+def depth_of(node: Node) -> int:
+    """Depth of ``node`` (0 for the root)."""
+    return node.depth()
+
+
+def document_precedes(a: Node, b: Node) -> bool:
+    """Whether ``a`` strictly precedes ``b`` in document order.
+
+    Implemented directly from the definition (preorder positions within the
+    common tree); both nodes must belong to the same tree.
+    """
+    if a is b:
+        return False
+    order = {id(n): i for i, n in enumerate(preorder(a.root()))}
+    if id(b) not in order:
+        raise ValueError("nodes belong to different trees")
+    return order[id(a)] < order[id(b)]
+
+
+def is_descendant(a: Node, b: Node) -> bool:
+    """Whether ``b`` is a proper descendant of ``a``."""
+    node = b.parent
+    while node is not None:
+        if node is a:
+            return True
+        node = node.parent
+    return False

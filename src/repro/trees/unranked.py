@@ -1,0 +1,231 @@
+"""The relational schema ``tau_ur`` for unranked ordered trees.
+
+Section 2 of the paper represents an unranked ordered tree as the structure::
+
+    t_ur = <dom, root, leaf, (label_a)_{a in Sigma},
+            firstchild, nextsibling, lastsibling>
+
+:class:`UnrankedStructure` materializes this schema over a :class:`Node`
+tree, assigning node identifiers in document order.  In addition to the six
+core relations it can supply, on demand, every derived relation used
+elsewhere in the paper:
+
+``child``
+    natural child relation (``firstchild . nextsibling*``), Section 5;
+``lastchild``
+    rightmost-child relation, Section 5 / Theorem 5.2;
+``firstsibling``
+    leftmost children (the mirror image of ``lastsibling``), Definition 6.2;
+``nextsibling_star`` / ``nextsibling_plus``
+    reflexive-transitive / transitive sibling closure, Lemma 5.5;
+``child_star`` / ``child_plus``
+    ancestor-descendant closures;
+``docorder``
+    the strict document order ``<`` of Example 2.5;
+``total``
+    the total binary relation (``docorder | eps | docorder^-1``), used by the
+    connectedness step of Theorem 5.2.
+
+The quadratic-size closures are guarded by a size limit so that benchmarks
+cannot accidentally materialize them on huge trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import DatalogError, TreeError
+from repro.structures import Fact, Structure
+from repro.trees.node import Node
+
+#: Relations that are binary and bidirectionally functional (Prop 4.1).
+_FUNCTIONAL_BINARY = ("firstchild", "nextsibling", "lastchild")
+
+#: Upper bound on tree size for materializing quadratic closures.
+_CLOSURE_LIMIT = 4000
+
+
+class UnrankedStructure(Structure):
+    """Relational view of an unranked ordered tree (schema ``tau_ur``).
+
+    Node identifiers are assigned in document order, so ``i < j`` iff node
+    ``i`` precedes node ``j`` in document order.
+
+    Parameters
+    ----------
+    root:
+        Root node of the tree.
+
+    Examples
+    --------
+    >>> from repro.trees import parse_sexpr
+    >>> s = UnrankedStructure(parse_sexpr("a(a, a(a, a), a)"))
+    >>> sorted(s.relation("firstchild"))
+    [(0, 1), (2, 3)]
+    >>> sorted(v for (v,) in s.relation("leaf"))
+    [1, 3, 4, 5]
+    """
+
+    def __init__(self, root: Node):
+        if root.parent is not None:
+            raise TreeError("structure must be built from a root node")
+        self._root = root
+        self._nodes: List[Node] = list(root.iter_subtree())
+        self._ids: Dict[int, int] = {id(n): i for i, n in enumerate(self._nodes)}
+        self._cache: Dict[str, FrozenSet[Fact]] = {}
+        self._functional_cache: Dict[str, Tuple[Dict[int, int], Dict[int, int]]] = {}
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def root_node(self) -> Node:
+        """The underlying root :class:`Node`."""
+        return self._root
+
+    def node(self, ident: int) -> Node:
+        """The :class:`Node` with identifier ``ident``."""
+        return self._nodes[ident]
+
+    def ident(self, node: Node) -> int:
+        """The identifier of ``node`` (must belong to this tree)."""
+        try:
+            return self._ids[id(node)]
+        except KeyError:
+            raise TreeError("node does not belong to this structure") from None
+
+    def nodes(self) -> List[Node]:
+        """All nodes in document order."""
+        return list(self._nodes)
+
+    def label_of(self, ident: int) -> str:
+        """Label of the node with identifier ``ident``."""
+        return self._nodes[ident].label
+
+    def labels(self) -> Set[str]:
+        """The set of labels occurring in the tree."""
+        return {n.label for n in self._nodes}
+
+    # -- relations ---------------------------------------------------------
+
+    def has_relation(self, name: str) -> bool:
+        try:
+            self.relation(name)
+            return True
+        except DatalogError:
+            return False
+
+    def arity(self, name: str) -> int:
+        unary = {"dom", "root", "leaf", "lastsibling", "firstsibling"}
+        if name in unary or name.startswith("label_"):
+            return 1
+        return 2
+
+    def relation(self, name: str) -> FrozenSet[Fact]:
+        if name not in self._cache:
+            self._cache[name] = frozenset(self._compute(name))
+        return self._cache[name]
+
+    def functional(self, name: str) -> Optional[Tuple[Dict[int, int], Dict[int, int]]]:
+        if name not in _FUNCTIONAL_BINARY:
+            return None
+        if name not in self._functional_cache:
+            forward: Dict[int, int] = {}
+            backward: Dict[int, int] = {}
+            for a, b in self.relation(name):
+                forward[a] = b
+                backward[b] = a
+            self._functional_cache[name] = (forward, backward)
+        return self._functional_cache[name]
+
+    def relation_names(self) -> Iterable[str]:
+        """Core ``tau_ur`` relation names (derived relations not included)."""
+        names = ["dom", "root", "leaf", "lastsibling", "firstchild", "nextsibling"]
+        names.extend(sorted(f"label_{a}" for a in self.labels()))
+        return names
+
+    # -- computation -------------------------------------------------------
+
+    def _check_closure_budget(self, name: str) -> None:
+        if self.size > _CLOSURE_LIMIT:
+            raise DatalogError(
+                f"refusing to materialize quadratic relation {name!r} on a "
+                f"tree with {self.size} nodes (limit {_CLOSURE_LIMIT})"
+            )
+
+    def _compute(self, name: str) -> Set[Fact]:
+        nodes = self._nodes
+        ids = self._ids
+        if name == "dom":
+            return {(i,) for i in range(len(nodes))}
+        if name == "root":
+            return {(0,)} if nodes else set()
+        if name == "leaf":
+            return {(i,) for i, n in enumerate(nodes) if n.is_leaf}
+        if name == "lastsibling":
+            return {(i,) for i, n in enumerate(nodes) if n.is_last_sibling}
+        if name == "firstsibling":
+            return {(i,) for i, n in enumerate(nodes) if n.is_first_sibling}
+        if name.startswith("label_"):
+            label = name[len("label_") :]
+            return {(i,) for i, n in enumerate(nodes) if n.label == label}
+        if name.startswith("notlabel_"):
+            label = name[len("notlabel_") :]
+            return {(i,) for i, n in enumerate(nodes) if n.label != label}
+        if name == "firstchild":
+            return {
+                (i, ids[id(n.children[0])])
+                for i, n in enumerate(nodes)
+                if n.children
+            }
+        if name == "nextsibling":
+            out: Set[Fact] = set()
+            for n in nodes:
+                for left, right in zip(n.children, n.children[1:]):
+                    out.add((ids[id(left)], ids[id(right)]))
+            return out
+        if name == "lastchild":
+            return {
+                (i, ids[id(n.children[-1])])
+                for i, n in enumerate(nodes)
+                if n.children
+            }
+        if name == "child":
+            out = set()
+            for i, n in enumerate(nodes):
+                for c in n.children:
+                    out.add((i, ids[id(c)]))
+            return out
+        if name in ("nextsibling_star", "nextsibling_plus"):
+            reflexive = name.endswith("_star")
+            out = set()
+            for n in nodes:
+                row = [ids[id(c)] for c in n.children]
+                for i, a in enumerate(row):
+                    start = i if reflexive else i + 1
+                    for b in row[start:]:
+                        out.add((a, b))
+            if reflexive:
+                for i in range(len(nodes)):
+                    out.add((i, i))
+            return out
+        if name in ("child_star", "child_plus"):
+            self._check_closure_budget(name)
+            out = set()
+            for i, n in enumerate(nodes):
+                if name == "child_star":
+                    out.add((i, i))
+                for d in n.iter_subtree():
+                    if d is not n:
+                        out.add((i, ids[id(d)]))
+            return out
+        if name == "docorder":
+            self._check_closure_budget(name)
+            return {(i, j) for i in range(len(nodes)) for j in range(i + 1, len(nodes))}
+        if name == "total":
+            self._check_closure_budget(name)
+            return {(i, j) for i in range(len(nodes)) for j in range(len(nodes))}
+        raise DatalogError(f"unknown relation {name!r} over tau_ur")

@@ -1,0 +1,23 @@
+"""Synthetic workloads.
+
+Real Web pages are unavailable offline, so the benchmarks and examples run
+on deterministic synthetic documents that exercise the same code paths
+(DESIGN.md, substitution S11):
+
+* :mod:`repro.workloads.docs` -- HTML page generators: product catalogs,
+  news pages with nested comment threads, noisy table layouts;
+* :mod:`repro.workloads.programs` -- datalog program generators for the
+  combined-complexity benchmarks (program-size sweeps).
+"""
+
+from repro.workloads.docs import catalog_page, news_page, noisy_table_page
+from repro.workloads.programs import chain_program, even_a_family, wide_program
+
+__all__ = [
+    "catalog_page",
+    "news_page",
+    "noisy_table_page",
+    "chain_program",
+    "wide_program",
+    "even_a_family",
+]

@@ -1,0 +1,106 @@
+"""Deterministic synthetic HTML page generators.
+
+Each generator returns an HTML string; parse it with
+:func:`repro.html.parse_html`.  All randomness flows through an explicit
+seed, so benchmark workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+_ADJECTIVES = [
+    "Quantum", "Turbo", "Classic", "Nordic", "Solar", "Crimson",
+    "Compact", "Deluxe", "Hyper", "Gentle", "Rustic", "Vivid",
+]
+_NOUNS = [
+    "Widget", "Teapot", "Lamp", "Keyboard", "Backpack", "Router",
+    "Notebook", "Speaker", "Bottle", "Tripod", "Charger", "Helmet",
+]
+_COMMENTERS = ["ada", "grace", "alan", "edsger", "barbara", "donald"]
+
+
+def catalog_page(seed: int, items: int, with_discounts: bool = True) -> str:
+    """A product-catalog page: a table of product rows.
+
+    Each row has a name cell, a price cell, and (sometimes) a discount
+    cell -- the classic Lixto-style extraction target.
+    """
+    rng = random.Random(seed)
+    rows: List[str] = []
+    for index in range(items):
+        name = f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)} {index}"
+        price = f"{rng.randint(5, 500)}.{rng.randint(0, 99):02d}"
+        cells = [
+            f'<td class="name">{name}</td>',
+            f'<td class="price">${price}</td>',
+        ]
+        if with_discounts and rng.random() < 0.3:
+            cells.append(f'<td class="discount">-{rng.randint(5, 40)}%</td>')
+        rows.append(f"<tr>{''.join(cells)}</tr>")
+    side = "".join(
+        f"<li><a href=\"/cat{i}\">Category {i}</a></li>" for i in range(5)
+    )
+    return (
+        "<html><head><title>Shop</title></head><body>"
+        f"<div id=\"nav\"><ul>{side}</ul></div>"
+        "<h1>Today's offers</h1>"
+        f"<table id=\"products\">{''.join(rows)}</table>"
+        "<div id=\"footer\">© shop</div>"
+        "</body></html>"
+    )
+
+
+def _comment(rng: random.Random, depth: int) -> str:
+    author = rng.choice(_COMMENTERS)
+    body = f"Comment by {author} at depth {depth}."
+    replies = ""
+    if depth < 3 and rng.random() < 0.5:
+        count = rng.randint(1, 2)
+        inner = "".join(_comment(rng, depth + 1) for _ in range(count))
+        replies = f"<ul class=\"replies\">{inner}</ul>"
+    return (
+        f'<li class="comment"><span class="author">{author}</span>'
+        f"<p>{body}</p>{replies}</li>"
+    )
+
+
+def news_page(seed: int, articles: int) -> str:
+    """A news page: articles with headlines, bodies and nested comment
+    threads (recursion makes this the natural showcase for recursive
+    Elog- rules)."""
+    rng = random.Random(seed)
+    parts: List[str] = []
+    for index in range(articles):
+        headline = f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)} shocks markets"
+        comments = "".join(_comment(rng, 1) for _ in range(rng.randint(0, 3)))
+        parts.append(
+            '<div class="article">'
+            f"<h2>{headline}</h2>"
+            f"<p>Story {index} body text.</p>"
+            f'<ul class="comments">{comments}</ul>'
+            "</div>"
+        )
+    return (
+        "<html><body><div id=\"main\">" + "".join(parts) + "</div></body></html>"
+    )
+
+
+def noisy_table_page(seed: int, rows: int, noise_divs: int = 10) -> str:
+    """A table page buried in layout noise (tests wrapper robustness:
+    Elog- rules describe only the objects of interest, not the page)."""
+    rng = random.Random(seed)
+    noise = "".join(
+        f'<div class="decor{i}"><span>{rng.randint(0, 9)}</span></div>'
+        for i in range(noise_divs)
+    )
+    body_rows = "".join(
+        f"<tr><td>{rng.randint(100, 999)}</td><td>{rng.choice(_NOUNS)}</td></tr>"
+        for _ in range(rows)
+    )
+    return (
+        f"<html><body>{noise}<div><div><table>"
+        f"<tr><th>Id</th><th>Name</th></tr>{body_rows}"
+        f"</table></div></div>{noise}</body></html>"
+    )

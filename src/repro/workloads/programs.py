@@ -1,0 +1,60 @@
+"""Datalog program generators for the complexity benchmarks.
+
+Theorem 4.2's combined complexity ``O(|P| * |dom|)`` is exhibited by
+sweeping both the tree size and the program size; these generators produce
+program families whose size grows linearly while staying within the
+Theorem 4.2 fragment (connected monadic rules over functional binaries).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.datalog.program import Program, Rule
+from repro.datalog.terms import Atom, var
+from repro.paper import even_a_program
+
+
+def chain_program(length: int) -> Program:
+    """A chain of ``length`` unary predicates threaded along
+    ``firstchild``/``nextsibling`` hops: ``p0`` holds at the root;
+    ``p_{i+1}`` propagates to a child or sibling; the query asks for the
+    final predicate.  Program size grows linearly with ``length``."""
+    x, y = var("x"), var("y")
+    rules: List[Rule] = [Rule(Atom("p0", (x,)), [Atom("root", (x,))])]
+    for i in range(length):
+        hop = "firstchild" if i % 2 == 0 else "nextsibling"
+        rules.append(
+            Rule(
+                Atom(f"p{i + 1}", (y,)),
+                [Atom(f"p{i}", (x,)), Atom(hop, (x, y))],
+            )
+        )
+        # Also allow staying put, so deep programs still derive facts on
+        # shallow trees.
+        rules.append(Rule(Atom(f"p{i + 1}", (x,)), [Atom(f"p{i}", (x,))]))
+    return Program(rules, query=f"p{length}")
+
+
+def wide_program(copies: int, labels: Sequence[str] = ("a", "b")) -> Program:
+    """``copies`` independent renamings of the Example 3.2 program glued
+    into one program (size grows linearly in ``copies``); the query is the
+    first copy's ``C0``."""
+    rules: List[Rule] = []
+    base = even_a_program(labels=labels)
+    for copy in range(copies):
+        for rule in base.rules:
+            head = Atom(f"c{copy}_{rule.head.pred}", rule.head.args)
+            body = []
+            for atom in rule.body:
+                if atom.pred in base.intensional_predicates():
+                    body.append(Atom(f"c{copy}_{atom.pred}", atom.args))
+                else:
+                    body.append(atom)
+            rules.append(Rule(head, body))
+    return Program(rules, query="c0_C0")
+
+
+def even_a_family(labels: Sequence[str] = ("a", "b")) -> Program:
+    """The Example 3.2 program itself (re-exported for benchmarks)."""
+    return even_a_program(labels=labels)

@@ -1,0 +1,118 @@
+"""Wrappers: bundles of information extraction functions.
+
+A :class:`Wrapper` maps extraction-predicate names to unary queries; it
+can host queries in any of the library's formalisms (Elog- programs,
+monadic datalog programs, MSO formulas, automaton queries), evaluates them
+all on a document tree, and assembles the wrapped output tree of
+Section 6's introduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.datalog.engine import evaluate
+from repro.datalog.program import Program
+from repro.elog.syntax import ElogProgram
+from repro.elog.translate import elog_to_datalog
+from repro.errors import WrapError
+from repro.trees.node import Node
+from repro.trees.unranked import UnrankedStructure
+from repro.wrap.output import OutputNode, build_output_tree
+
+
+class Wrapper:
+    """A wrapper = an ordered set of named information extraction functions.
+
+    Extraction functions are added through the ``add_*`` methods; the
+    order of addition is the relabeling priority (when a node matches
+    several predicates, the earliest-added wins -- wrappers that need
+    multi-labels should merge names beforehand).
+
+    Examples
+    --------
+    >>> from repro.trees import parse_sexpr
+    >>> from repro.datalog import parse_program
+    >>> w = Wrapper()
+    >>> _ = w.add_datalog("item", parse_program(
+    ...     "item(x) :- label_li(x).", query="item"))
+    >>> tree = parse_sexpr("ul(li, li)")
+    >>> w.wrap(tree).to_sexpr()
+    'result(item, item)'
+    """
+
+    def __init__(self):
+        self._functions: List[tuple] = []
+
+    # -- registration --------------------------------------------------------
+
+    def add_datalog(self, name: str, program: Program, predicate: Optional[str] = None) -> "Wrapper":
+        """Add an extraction function given by a monadic datalog program.
+
+        ``predicate`` defaults to the program's query predicate.
+        """
+        pred = predicate or program.query
+        if pred is None:
+            raise WrapError("datalog extraction needs a query predicate")
+        self._functions.append(("datalog", name, (program, pred)))
+        return self
+
+    def add_elog(self, name: str, program: ElogProgram, pattern: Optional[str] = None) -> "Wrapper":
+        """Add an extraction function given by an Elog- pattern."""
+        pat = pattern or program.query
+        if pat is None:
+            raise WrapError("Elog extraction needs a query pattern")
+        self._functions.append(("datalog", name, (elog_to_datalog(program), pat)))
+        return self
+
+    def add_mso(self, name: str, formula, free_var: str, labels: Sequence[str]) -> "Wrapper":
+        """Add an extraction function given by a unary MSO query."""
+        from repro.mso.compile import compile_query
+
+        query = compile_query(formula, free_var, labels)
+        self._functions.append(("automaton", name, query))
+        return self
+
+    def add_automaton(self, name: str, query) -> "Wrapper":
+        """Add an extraction function given by a
+        :class:`repro.automata.unary.UnaryQueryDTA`."""
+        self._functions.append(("automaton", name, query))
+        return self
+
+    def add_callable(self, name: str, function: Callable[[UnrankedStructure], Set[int]]) -> "Wrapper":
+        """Add an arbitrary ``structure -> node id set`` function."""
+        self._functions.append(("callable", name, function))
+        return self
+
+    # -- evaluation ----------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Extraction-function names in priority order."""
+        return [name for _, name, _ in self._functions]
+
+    def extract(self, tree: Node) -> Dict[str, Set[int]]:
+        """Evaluate all extraction functions; node-id sets per name."""
+        structure = UnrankedStructure(tree)
+        out: Dict[str, Set[int]] = {}
+        for kind, name, payload in self._functions:
+            if kind == "datalog":
+                program, pred = payload
+                result = evaluate(program, structure)
+                ids = result.unary(pred)
+            elif kind == "automaton":
+                ids = payload.select_ids(structure)
+            else:
+                ids = set(payload(structure))
+            out.setdefault(name, set()).update(ids)
+        return out
+
+    def wrap(self, tree: Node, root_label: str = "result") -> OutputNode:
+        """Wrap a document: extract, relabel, build the output tree."""
+        structure = UnrankedStructure(tree)
+        results = self.extract(tree)
+        assignment: Dict[int, str] = {}
+        for name in self.names():
+            for ident in results.get(name, ()):
+                node = structure.node(ident)
+                assignment.setdefault(id(node), name)
+        return build_output_tree(tree, assignment, root_label=root_label)

@@ -1,0 +1,109 @@
+"""Output-tree construction.
+
+Following the paper: given an input tree and a predicate assignment, the
+output tree keeps exactly the nodes that received a new label, connected
+through the transitive closure of the input edge relation (i.e. each kept
+node's parent is its nearest kept ancestor), preserving document order.
+A synthetic ``result`` root collects top-level matches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trees.node import Node
+
+
+class OutputNode:
+    """A node of a wrapped output tree.
+
+    Attributes
+    ----------
+    label:
+        The new label (the extraction predicate's name, or a custom
+        relabeling).
+    source:
+        The originating input :class:`Node` (``None`` for the synthetic
+        root).
+    children:
+        Output children in document order.
+    text:
+        Concatenated text content of the source subtree, when the source
+        tree carries text (HTML wrapping).
+    """
+
+    def __init__(self, label: str, source: Optional[Node] = None):
+        self.label = label
+        self.source = source
+        self.children: List[OutputNode] = []
+        self.text: Optional[str] = None
+
+    def add(self, child: "OutputNode") -> "OutputNode":
+        self.children.append(child)
+        return child
+
+    def to_sexpr(self) -> str:
+        """Compact s-expression rendering (tests and examples)."""
+        if not self.children:
+            return self.label
+        inner = ", ".join(c.to_sexpr() for c in self.children)
+        return f"{self.label}({inner})"
+
+    def iter_subtree(self):
+        """Document-order iteration."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"OutputNode({self.to_sexpr()})"
+
+
+def node_text(node: Node) -> str:
+    """Concatenated text payloads of a subtree, in document order."""
+    parts: List[str] = []
+    for n in node.iter_subtree():
+        if n.text:
+            parts.append(n.text)
+    return " ".join(p.strip() for p in parts if p.strip())
+
+
+def build_output_tree(
+    root: Node,
+    assignment: Dict[int, str],
+    root_label: str = "result",
+    capture_text: bool = True,
+) -> OutputNode:
+    """Build the wrapped output tree.
+
+    Parameters
+    ----------
+    root:
+        The input tree.
+    assignment:
+        ``id(node) -> new_label`` for every node to keep.  (Wrappers
+        produce this from extraction-predicate results; a node carrying
+        several predicates gets one output node per predicate in a stable
+        order only if callers merge labels beforehand.)
+    root_label:
+        Label of the synthetic output root.
+    capture_text:
+        Record the source subtree's text content on leaf output nodes.
+    """
+    out_root = OutputNode(root_label)
+
+    def walk(node: Node, parent_out: OutputNode) -> None:
+        label = assignment.get(id(node))
+        if label is not None:
+            out_node = parent_out.add(OutputNode(label, source=node))
+        else:
+            out_node = parent_out
+        for child in node.children:
+            walk(child, out_node)
+        if label is not None and capture_text and not out_node.children:
+            text = node_text(node)
+            if text:
+                out_node.text = text
+
+    walk(root, out_root)
+    return out_root

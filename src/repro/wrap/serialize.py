@@ -1,0 +1,41 @@
+"""XML serialization of wrapped output trees."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.wrap.output import OutputNode
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def _escape(text: str) -> str:
+    out = text
+    for raw, escaped in _ESCAPES.items():
+        out = out.replace(raw, escaped)
+    return out
+
+
+def to_xml(node: OutputNode, indent: int = 0) -> str:
+    """Pretty-print a wrapped output tree as XML.
+
+    >>> from repro.wrap.output import OutputNode
+    >>> root = OutputNode("result")
+    >>> item = root.add(OutputNode("item"))
+    >>> item.text = "42"
+    >>> print(to_xml(root))
+    <result>
+      <item>42</item>
+    </result>
+    """
+    pad = "  " * indent
+    tag = node.label
+    if not node.children and node.text is None:
+        return f"{pad}<{tag}/>"
+    if not node.children:
+        return f"{pad}<{tag}>{_escape(node.text or '')}</{tag}>"
+    lines: List[str] = [f"{pad}<{tag}>"]
+    for child in node.children:
+        lines.append(to_xml(child, indent + 1))
+    lines.append(f"{pad}</{tag}>")
+    return "\n".join(lines)

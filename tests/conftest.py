@@ -1,0 +1,11 @@
+"""Pytest fixtures for the suite."""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; tests stay reproducible."""
+    return random.Random(0xC0FFEE)

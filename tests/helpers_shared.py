@@ -1,0 +1,18 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+from repro.trees.generate import random_tree
+from repro.trees.unranked import UnrankedStructure
+
+
+def random_structures(seed: int, count: int, max_size: int = 12, labels=("a", "b")):
+    """A list of random (tree, structure) pairs for equivalence sweeps."""
+    generator = random.Random(seed)
+    out = []
+    for _ in range(count):
+        tree = random_tree(generator, generator.randint(1, max_size), labels=labels)
+        out.append((tree, UnrankedStructure(tree)))
+    return out

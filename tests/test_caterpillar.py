@@ -1,0 +1,175 @@
+"""Tests for caterpillar expressions: parsing, the inversion identities of
+Propositions 2.3/2.4, evaluation, the image sweep, and the Lemma 5.9
+compilation into TMNF datalog."""
+
+import pytest
+
+from repro.caterpillar import (
+    caterpillar_to_datalog,
+    evaluate_caterpillar,
+    image,
+    parse_caterpillar,
+    push_inversions,
+)
+from repro.caterpillar.order import (
+    child_expression,
+    document_order_expression,
+    total_expression,
+)
+from repro.caterpillar.rewrite import atomic_steps
+from repro.caterpillar.syntax import CatInverse, cat_atom, cat_inverse
+from repro.datalog.engine import evaluate
+from repro.errors import ParseError
+from repro.tmnf.forms import is_tmnf
+from repro.trees.unranked import UnrankedStructure
+from tests.helpers_shared import random_structures
+
+
+class TestParsing:
+    def test_roundtrip_simple(self):
+        assert str(parse_caterpillar("firstchild.nextsibling*")) == "firstchild.nextsibling*"
+
+    def test_plus_desugars(self):
+        expr = parse_caterpillar("nextsibling+")
+        assert str(expr) == "nextsibling.nextsibling*"
+
+    def test_inverse_atom_folds(self):
+        expr = parse_caterpillar("firstchild^-1")
+        assert str(expr) == "firstchild^-1"
+        assert not isinstance(expr, CatInverse)
+
+    def test_union_and_parens(self):
+        expr = parse_caterpillar("(firstchild | nextsibling)*")
+        assert "|" in str(expr)
+
+    def test_error(self):
+        with pytest.raises(ParseError):
+            parse_caterpillar("firstchild..x")
+
+
+class TestInversionIdentities:
+    """Proposition 2.3: the four inversion identities, verified
+    semantically on random trees."""
+
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("(firstchild.nextsibling)^-1", "nextsibling^-1.firstchild^-1"),
+            (
+                "(firstchild | nextsibling)^-1",
+                "firstchild^-1 | nextsibling^-1",
+            ),
+            ("(nextsibling*)^-1", "(nextsibling^-1)*"),
+            ("(firstchild^-1)^-1", "firstchild"),
+        ],
+    )
+    def test_identity(self, left, right):
+        e1, e2 = parse_caterpillar(left), parse_caterpillar(right)
+        for _, structure in random_structures(seed=17, count=8):
+            assert evaluate_caterpillar(e1, structure) == evaluate_caterpillar(
+                e2, structure
+            )
+
+    def test_pushdown_removes_compound_inversions(self):
+        expr = cat_inverse(parse_caterpillar("(firstchild.nextsibling*)*"))
+        pushed = push_inversions(expr)
+        steps = atomic_steps(pushed)  # raises on compound inversion
+        assert ("firstchild", True) in steps
+
+    def test_pushdown_preserves_semantics(self):
+        expr = cat_inverse(parse_caterpillar("firstchild.(nextsibling | leaf)*"))
+        pushed = push_inversions(expr)
+        for _, structure in random_structures(seed=31, count=8):
+            assert evaluate_caterpillar(expr, structure) == evaluate_caterpillar(
+                pushed, structure
+            )
+
+    def test_unary_relations_are_symmetric(self):
+        expr = cat_inverse(cat_atom("leaf"))
+        pushed = push_inversions(expr)
+        for _, structure in random_structures(seed=32, count=5):
+            assert evaluate_caterpillar(pushed, structure) == {
+                (v, v) for (v,) in structure.relation("leaf")
+            }
+
+
+class TestEvaluation:
+    def test_child_expression_equals_child_relation(self):
+        for _, structure in random_structures(seed=41, count=10):
+            assert set(
+                evaluate_caterpillar(child_expression(), structure)
+            ) == set(structure.relation("child"))
+
+    def test_document_order(self):
+        for _, structure in random_structures(seed=42, count=10, max_size=10):
+            n = structure.size
+            expected = {(i, j) for i in range(n) for j in range(i + 1, n)}
+            assert (
+                set(evaluate_caterpillar(document_order_expression(), structure))
+                == expected
+            )
+
+    def test_total_expression(self):
+        for _, structure in random_structures(seed=43, count=5, max_size=8):
+            n = structure.size
+            assert (
+                set(evaluate_caterpillar(total_expression(), structure))
+                == {(i, j) for i in range(n) for j in range(n)}
+            )
+
+    def test_unary_filter_in_path(self):
+        # Children that are leaves: child then leaf filter.
+        expr = parse_caterpillar("firstchild.nextsibling*.leaf")
+        for _, structure in random_structures(seed=44, count=8):
+            expected = {
+                (a, b)
+                for (a, b) in structure.relation("child")
+                if (b,) in structure.relation("leaf")
+            }
+            assert set(evaluate_caterpillar(expr, structure)) == expected
+
+    def test_image_matches_full_relation(self):
+        expr = document_order_expression()
+        for _, structure in random_structures(seed=45, count=8):
+            full = evaluate_caterpillar(expr, structure)
+            for source in range(0, structure.size, 3):
+                expected = {b for (a, b) in full if a == source}
+                assert image(expr, structure, [source]) == expected
+
+
+class TestLemma59Compilation:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "firstchild.nextsibling*",
+            "nextsibling+",
+            "(firstchild | nextsibling)*",
+            "firstchild^-1",
+            "(firstchild.nextsibling)^-1",
+            "firstchild.leaf.nextsibling^-1",
+        ],
+    )
+    def test_program_equivalent_to_image(self, text):
+        expr = parse_caterpillar(text)
+        program, _ = caterpillar_to_datalog(expr, "root", "target")
+        for _, structure in random_structures(seed=len(text), count=6):
+            expected = image(expr, structure, [0])
+            result = evaluate(program, structure)
+            assert result.unary("target") == expected, text
+
+    def test_output_is_tmnf(self):
+        program, _ = caterpillar_to_datalog(
+            parse_caterpillar("firstchild.nextsibling*"), "root", "t"
+        )
+        ok, reason = is_tmnf(program)
+        assert ok, reason
+
+    def test_linear_size(self):
+        small = parse_caterpillar("firstchild.nextsibling*")
+        big = parse_caterpillar(
+            "firstchild.nextsibling*.firstchild.nextsibling*."
+            "firstchild.nextsibling*.firstchild.nextsibling*"
+        )
+        p_small, _ = caterpillar_to_datalog(small, "root", "t")
+        p_big, _ = caterpillar_to_datalog(big, "root", "t")
+        assert len(p_big.rules) <= 4.5 * len(p_small.rules)

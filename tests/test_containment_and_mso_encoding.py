@@ -1,0 +1,128 @@
+"""Tests for containment machinery (Cors 4.20 / 5.12 context) and the
+Proposition 3.3 encoding of monadic datalog into Pi1-MSO."""
+
+import pytest
+
+from repro.caterpillar import parse_caterpillar
+from repro.datalog.containment import (
+    automaton_query_containment,
+    bounded_containment,
+    caterpillar_word_containment,
+    enumerate_trees,
+)
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_program
+from repro.datalog.to_mso import datalog_to_mso
+from repro.errors import DatalogError
+from repro.mso import compile_query, naive_select, parse_mso
+from repro.trees import UnrankedStructure
+from tests.helpers_shared import random_structures
+
+
+class TestEnumerateTrees:
+    def test_counts_single_label(self):
+        # Ordered tree shapes with n nodes = Catalan(n-1): 1, 1, 2, 5, 14.
+        by_size = {}
+        for tree in enumerate_trees(("a",), 5):
+            by_size[tree.subtree_size()] = by_size.get(tree.subtree_size(), 0) + 1
+        assert by_size == {1: 1, 2: 1, 3: 2, 4: 5, 5: 14}
+
+    def test_counts_with_labels(self):
+        trees = list(enumerate_trees(("a", "b"), 2))
+        # sizes 1 and 2: 1*2 + 1*4 = 6 trees.
+        assert len(trees) == 6
+
+
+class TestBoundedContainment:
+    def test_contained_pair(self):
+        p1 = parse_program("q(x) :- label_a(x), leaf(x).", query="q")
+        p2 = parse_program("q(x) :- label_a(x).", query="q")
+        ok, witness = bounded_containment(p1, p2, max_size=4)
+        assert ok and witness is None
+
+    def test_counterexample_found(self):
+        p1 = parse_program("q(x) :- label_a(x).", query="q")
+        p2 = parse_program("q(x) :- label_a(x), leaf(x).", query="q")
+        ok, witness = bounded_containment(p1, p2, max_size=4)
+        assert not ok
+        structure = UnrankedStructure(witness)
+        left = evaluate(p1, structure).query_result()
+        right = evaluate(p2, structure).query_result()
+        assert not left <= right
+
+    def test_requires_query_predicates(self):
+        p = parse_program("q(x) :- label_a(x).")
+        with pytest.raises(DatalogError):
+            bounded_containment(p, p)
+
+
+class TestAutomatonContainment:
+    def test_exact_containment_holds(self):
+        q1 = compile_query(parse_mso("label_a(x) & leaf(x)"), "x", ["a", "b"])
+        q2 = compile_query(parse_mso("label_a(x)"), "x", ["a", "b"])
+        ok, witness = automaton_query_containment(q1, q2)
+        assert ok and witness is None
+
+    def test_exact_containment_fails_with_tree_witness(self):
+        q1 = compile_query(parse_mso("label_a(x)"), "x", ["a", "b"])
+        q2 = compile_query(parse_mso("label_a(x) & leaf(x)"), "x", ["a", "b"])
+        ok, witness = automaton_query_containment(q1, q2)
+        assert not ok and witness is not None
+        # The witness tree must contain a non-leaf a-node.
+        assert any(
+            n.label == "a" and n.children for n in witness.iter_subtree()
+        )
+
+    def test_semantic_equality_of_distinct_formulas(self):
+        # ~leaf(x) and "x has a child" define the same query.
+        q1 = compile_query(parse_mso("~leaf(x)"), "x", ["a"])
+        q2 = compile_query(parse_mso("exists y (child(x, y))"), "x", ["a"])
+        assert automaton_query_containment(q1, q2)[0]
+        assert automaton_query_containment(q2, q1)[0]
+
+
+class TestCaterpillarContainment:
+    def test_path_containment(self):
+        e1 = parse_caterpillar("firstchild")
+        e2 = parse_caterpillar("firstchild.nextsibling*")
+        ok, _ = caterpillar_word_containment(e1, e2)
+        assert ok
+        ok, witness = caterpillar_word_containment(e2, e1)
+        assert not ok and witness is not None
+
+    def test_equivalent_expressions(self):
+        e1 = parse_caterpillar("nextsibling.nextsibling*")
+        e2 = parse_caterpillar("nextsibling+")
+        assert caterpillar_word_containment(e1, e2)[0]
+        assert caterpillar_word_containment(e2, e1)[0]
+
+
+class TestProposition33:
+    @pytest.mark.parametrize(
+        "text,query",
+        [
+            ("q(x) :- label_a(x), leaf(x).", "q"),
+            ("q(x) :- firstchild(x, y), label_b(y).", "q"),
+            ("q(x) :- root(x). q(y) :- q(x), firstchild(x, y).", "q"),
+            ("q(y) :- nextsibling(x, y), label_a(x).", "q"),
+        ],
+    )
+    def test_encoding_matches_engine(self, text, query):
+        program = parse_program(text, query=query)
+        formula = datalog_to_mso(program, free_var="v")
+        for tree, structure in random_structures(seed=len(text), count=5, max_size=5):
+            expected = evaluate(program, structure).query_result()
+            got = naive_select(formula, "v", structure)
+            assert got == expected, str(tree)
+
+    def test_rejects_missing_query(self):
+        program = parse_program("p(x) :- leaf(x).")
+        with pytest.raises(DatalogError):
+            datalog_to_mso(program)
+
+    def test_rejects_binary_intensional(self):
+        from repro.datalog.program import Program
+
+        program = parse_program("p(x, y) :- firstchild(x, y). q(x) :- p(x, y).")
+        with pytest.raises(DatalogError):
+            datalog_to_mso(Program(program.rules, query="q"))

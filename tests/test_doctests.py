@@ -1,0 +1,61 @@
+"""Run the doctests embedded in the library's public docstrings.
+
+Keeps every usage example in the API documentation executable and true.
+"""
+
+import doctest
+
+import pytest
+
+import repro.datalog.hornsat
+import repro.datalog.parser
+import repro.datalog.terms
+import repro.elog.parser
+import repro.elog.paths
+import repro.html.entities
+import repro.html.parser
+import repro.html.tokenizer
+import repro.mso.parser
+import repro.caterpillar.rewrite
+import repro.caterpillar.syntax
+import repro.structures
+import repro.paper
+import repro.tmnf.depth_index
+import repro.trees.binary
+import repro.trees.generate
+import repro.trees.node
+import repro.trees.ranked
+import repro.trees.unranked
+import repro.wrap.extraction
+import repro.wrap.serialize
+import repro.wrap.visual
+
+MODULES = [
+    repro.structures,
+    repro.trees.node,
+    repro.trees.binary,
+    repro.trees.unranked,
+    repro.trees.ranked,
+    repro.trees.generate,
+    repro.datalog.terms,
+    repro.datalog.parser,
+    repro.datalog.hornsat,
+    repro.mso.parser,
+    repro.caterpillar.syntax,
+    repro.caterpillar.rewrite,
+    repro.elog.paths,
+    repro.elog.parser,
+    repro.html.entities,
+    repro.html.tokenizer,
+    repro.html.parser,
+    repro.wrap.extraction,
+    repro.wrap.serialize,
+    repro.wrap.visual,
+    repro.paper,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, _tried = doctest.testmod(module, verbose=False)
+    assert failures == 0

@@ -1,0 +1,222 @@
+"""Tests for Elog-: paths, syntax, parsing, translation to datalog, the
+reverse Theorem 6.5 translation, and the visual specification session."""
+
+import pytest
+
+from repro.datalog.engine import evaluate
+from repro.datalog.program import Program, fresh_variable_factory
+from repro.datalog.terms import Variable
+from repro.elog import (
+    datalog_to_elog,
+    elog_to_datalog,
+    evaluate_elog,
+    expand_subelem,
+    parse_elog,
+    parse_path,
+)
+from repro.elog.syntax import Condition, ElogProgram, ElogRule, PatternRef
+from repro.errors import ElogError, ParseError
+from repro.paper import even_a_program
+from repro.tmnf import to_tmnf
+from repro.trees import Node, UnrankedStructure, parse_sexpr
+from repro.wrap import VisualSession
+from tests.helpers_shared import random_structures
+
+
+class TestPaths:
+    def test_parse_path(self):
+        assert parse_path("a.b._") == ("a", "b", "_")
+        assert parse_path("") == ()
+
+    def test_malformed_path(self):
+        with pytest.raises(ElogError):
+            parse_path("a..b")
+
+    def test_expand_subelem(self):
+        fresh = fresh_variable_factory()
+        atoms, end = expand_subelem(("a", "_"), Variable("x"), Variable("y"), fresh)
+        preds = [a.pred for a in atoms]
+        assert preds == ["child", "label_a", "child"]
+        assert end == Variable("y")
+
+    def test_expand_empty_path_is_identity(self):
+        fresh = fresh_variable_factory()
+        atoms, end = expand_subelem((), Variable("x"), Variable("y"), fresh)
+        assert atoms == [] and end == Variable("x")
+
+
+class TestSyntax:
+    def test_specialization_requires_same_variable(self):
+        with pytest.raises(ElogError):
+            ElogRule(head="p", head_var="x", parent="q", parent_var="x0")
+
+    def test_connectivity_enforced(self):
+        # A pattern reference on an unconnected variable is rejected.
+        with pytest.raises(ElogError):
+            ElogRule(
+                head="p",
+                head_var="x",
+                parent="root",
+                parent_var="x0",
+                path=("a",),
+                refs=[PatternRef("q", "stray")],
+            )
+
+    def test_undefined_parent_rejected(self):
+        rule = ElogRule(
+            head="p", head_var="x", parent="ghost", parent_var="x0", path=("a",)
+        )
+        with pytest.raises(ElogError):
+            ElogProgram([rule])
+
+    def test_root_cannot_be_head(self):
+        with pytest.raises(ElogError):
+            ElogRule(head="root", head_var="x", parent="root", parent_var="x")
+
+
+class TestParser:
+    def test_full_rule(self):
+        program = parse_elog(
+            "item(x) <- root(x0), subelem(x0, 'table.tr', x), "
+            "contains(x, 'td', y), lastsibling(x), price(y). "
+            "price(y) <- root(z), subelem(z, '_.td', y)."
+        )
+        assert len(program) == 2
+        rule = program.rules[0]
+        assert rule.path == ("table", "tr")
+        assert len(rule.conditions) == 2
+        assert rule.refs == [PatternRef("price", "y")]
+
+    def test_subelem_anchoring_enforced(self):
+        with pytest.raises(ParseError):
+            parse_elog("p(x) <- root(x0), subelem(y, 'a', x).")
+
+    def test_nextsibling_arity(self):
+        with pytest.raises(ParseError):
+            parse_elog("p(x) <- root(x), nextsibling(x).")
+
+
+class TestTranslation:
+    def test_subelem_expansion_semantics(self):
+        program = parse_elog(
+            "tr(x) <- root(x0), subelem(x0, 'table.tr', x).", query="tr"
+        )
+        tree = parse_sexpr("html(table(tr, tr), div(tr))")
+        result = evaluate_elog(program, UnrankedStructure(tree))
+        assert result.query_result() == {2, 3}
+
+    def test_wildcard(self):
+        program = parse_elog(
+            "x2(x) <- root(x0), subelem(x0, '_._', x).", query="x2"
+        )
+        tree = parse_sexpr("a(b(c, d), e(f))")
+        result = evaluate_elog(program, UnrankedStructure(tree))
+        assert result.query_result() == {2, 3, 5}
+
+    def test_contains_condition(self):
+        program = parse_elog(
+            "p(x) <- root(x0), subelem(x0, '_', x), contains(x, 'b', y).",
+            query="p",
+        )
+        tree = parse_sexpr("r(a(b), a(c), a)")
+        result = evaluate_elog(program, UnrankedStructure(tree))
+        assert result.query_result() == {1}
+
+    def test_recursive_patterns(self):
+        program = parse_elog(
+            """
+            item(x) <- root(x0), subelem(x0, 'li', x).
+            item(x) <- item(x0), subelem(x0, 'li', x).
+            """,
+            query="item",
+        )
+        tree = parse_sexpr("ul(li(li(li)), li)")
+        result = evaluate_elog(program, UnrankedStructure(tree))
+        assert result.query_result() == {1, 2, 3, 4}
+
+    def test_tmnf_evaluation_path_agrees(self):
+        program = parse_elog(
+            """
+            rec(x) <- root(x0), subelem(x0, '_._', x), lastsibling(x).
+            tag(x) <- rec(x0), subelem(x0, '_', x), leaf(x).
+            """,
+            query="tag",
+        )
+        for tree, structure in random_structures(seed=61, count=8):
+            direct = evaluate_elog(program, structure).query_result()
+            via_tmnf = evaluate_elog(program, structure, method="tmnf").query_result()
+            assert direct == via_tmnf, str(tree)
+
+
+class TestTheorem65:
+    def test_round_trip_even_a(self):
+        program = even_a_program(labels=("a", "b"))
+        tmnf = to_tmnf(program)
+        elog = datalog_to_elog(tmnf.program, root_label="r")
+        back = elog_to_datalog(elog)
+        for tree, _ in random_structures(seed=65, count=8, max_size=9):
+            rooted = Node("r", [tree])
+            structure = UnrankedStructure(rooted)
+            expected = evaluate(program, structure).query_result()
+            got = evaluate(back, structure, method="seminaive").unary(
+                elog.query or "C0"
+            )
+            assert got == expected, str(rooted)
+
+    def test_rejects_non_tmnf_input(self):
+        with pytest.raises(ElogError):
+            datalog_to_elog(even_a_program(labels=("a",)))
+
+    def test_dom_pattern_reaches_all_nodes(self):
+        from repro.elog.from_datalog import DOM_PATTERN, _dom_rules
+
+        program = ElogProgram(_dom_rules())
+        for tree, structure in random_structures(seed=66, count=6):
+            result = evaluate_elog(program, structure)
+            assert result.unary(DOM_PATTERN) == set(structure.domain)
+
+
+class TestVisualSession:
+    def test_click_derives_rule_and_instances(self):
+        doc = parse_sexpr("html(body(table(tr(td, td), tr(td, td))))")
+        session = VisualSession(doc)
+        table = doc.children[0].children[0]
+        first_row = table.children[0]
+        rule = session.select("record", "root", first_row)
+        assert rule.path == ("body", "table", "tr")
+        assert len(session.instances("record")) == 2
+
+    def test_nested_pattern_selection(self):
+        doc = parse_sexpr("html(body(table(tr(td, td), tr(td, td))))")
+        session = VisualSession(doc)
+        table = doc.children[0].children[0]
+        session.select("record", "root", table.children[0])
+        cell = table.children[0].children[1]
+        session.select("cell", "record", cell)
+        assert len(session.instances("cell")) == 4
+
+    def test_refine_with_condition(self):
+        doc = parse_sexpr("html(body(table(tr(td, td), tr(td, td))))")
+        session = VisualSession(doc)
+        table = doc.children[0].children[0]
+        session.select("record", "root", table.children[0])
+        session.select("cell", "record", table.children[0].children[0])
+        session.refine_last(Condition("lastsibling", ("x",)))
+        # Only the last td of each row now matches.
+        assert len(session.instances("cell")) == 2
+
+    def test_generalization_to_wildcard(self):
+        doc = parse_sexpr("html(body(div(span), section(span)))")
+        session = VisualSession(doc)
+        span = doc.children[0].children[0].children[0]
+        session.select("txt", "root", span, generalize_labels=("div",))
+        assert session.rules[-1].path == ("body", "_", "span")
+        assert len(session.instances("txt")) == 2
+
+    def test_click_outside_parent_raises(self):
+        from repro.errors import WrapError
+
+        doc = parse_sexpr("html(body(div))")
+        session = VisualSession(doc)
+        with pytest.raises(WrapError):
+            session.select("x", "nothere", doc.children[0])

@@ -1,0 +1,120 @@
+"""Tests for Elog-Delta (Theorem 6.6): the distance-tolerance conditions,
+the a^n b^n program, and the computational non-regularity demonstration."""
+
+import pytest
+
+from repro.automata.nfa import distinguishable_prefixes
+from repro.elog.delta import (
+    DeltaCondition,
+    ElogDeltaProgram,
+    ElogDeltaRule,
+    _DeltaStructure,
+    anbn_program,
+    evaluate_elog_delta,
+)
+from repro.elog.syntax import ElogRule, ROOT_PATTERN
+from repro.trees.generate import flat_tree
+from repro.trees import parse_sexpr
+
+
+def _accepts(word: str) -> bool:
+    tree = flat_tree(word)
+    return 0 in evaluate_elog_delta(anbn_program(), tree).unary("anbn")
+
+
+class TestDeltaRelations:
+    def test_notafter_semantics(self):
+        structure = _DeltaStructure(parse_sexpr("r(a, b, a)"))
+        relation = structure.relation("notafter[a]")
+        # y=3 (the second a) comes after a-child 1 -> excluded for x=0.
+        assert (0, 1) in relation
+        assert (0, 3) not in relation  # 3 > 1 (an a-node)
+
+    def test_notbefore_semantics(self):
+        structure = _DeltaStructure(parse_sexpr("r(b, a)"))
+        relation = structure.relation("notbefore[a]")
+        assert (0, 2) in relation  # the a itself is not before itself
+        assert (0, 1) not in relation  # b at 1 is before the a at 2
+
+    def test_before_distance_window(self):
+        structure = _DeltaStructure(parse_sexpr("r(a, a, b, b)"))
+        relation = structure.relation("before[b][50][50]")
+        # k = 4, window = exactly 2 positions; (root, child0, child2) fits.
+        assert (0, 1, 3) in relation
+        assert (0, 2, 3) not in relation  # distance 1
+        assert (0, 1, 4) not in relation  # distance 3
+
+    def test_before_requires_path_match(self):
+        structure = _DeltaStructure(parse_sexpr("r(a, a, a, a)"))
+        assert structure.relation("before[b][0][100]") == frozenset()
+
+
+class TestAnbn:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_accepts_diagonal(self, n):
+        assert _accepts("a" * n + "b" * n)
+
+    @pytest.mark.parametrize(
+        "word",
+        ["", "a", "b", "ab" * 2, "ba", "aab", "abb", "aaabb", "aabbb", "bbaa"],
+    )
+    def test_rejects_off_diagonal(self, word):
+        assert not _accepts(word)
+
+    def test_a0_is_leftmost_a(self):
+        tree = flat_tree("aab")
+        result = evaluate_elog_delta(anbn_program(), tree)
+        assert result.unary("a0") == {1}
+
+    def test_b0_is_first_b_with_no_a_after(self):
+        tree = flat_tree("abab")
+        result = evaluate_elog_delta(anbn_program(), tree)
+        assert result.unary("b0") == set()  # b at 2 has an a after it... b at 4 qualifies per notafter_b? no: b at 2 precedes b at 4
+        tree2 = flat_tree("aabb")
+        result2 = evaluate_elog_delta(anbn_program(), tree2)
+        assert result2.unary("b0") == {3}
+
+
+class TestNonRegularity:
+    def test_residual_classes_grow(self):
+        def oracle(word):
+            return _accepts("".join(word))
+
+        for k in (3, 6):
+            prefixes = [tuple("a" * i) for i in range(k + 1)]
+            suffixes = [tuple("b" * i) for i in range(k + 1)]
+            assert distinguishable_prefixes(oracle, prefixes, suffixes) == k + 1
+
+    def test_regular_language_has_bounded_classes(self):
+        # Sanity check of the tool itself on the regular language a*.
+        def star_oracle(word):
+            return all(symbol == "a" for symbol in word)
+
+        prefixes = [tuple("a" * i) for i in range(10)]
+        suffixes = [tuple("a" * i) for i in range(4)] + [("b",)]
+        assert distinguishable_prefixes(star_oracle, prefixes, suffixes) == 1
+
+
+class TestDeltaProgramPlumbing:
+    def test_program_str_renders_tolerances(self):
+        text = str(anbn_program())
+        assert "50%-50%" in text
+        assert "notafter" in text
+
+    def test_custom_delta_rule(self):
+        # Children labeled b that come after every a-child (notbefore:
+        # the b must not precede any a-child).
+        rule = ElogDeltaRule(
+            ElogRule(
+                head="earlyb",
+                head_var="x",
+                parent=ROOT_PATTERN,
+                parent_var="x0",
+                path=("b",),
+            ),
+            [DeltaCondition("notbefore", ("x0", "x"), ("a",))],
+        )
+        program = ElogDeltaProgram([rule], query="earlyb")
+        tree = flat_tree("bab")  # ids: 1=b, 2=a, 3=b
+        result = evaluate_elog_delta(program, tree)
+        assert result.query_result() == {3}

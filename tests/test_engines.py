@@ -1,0 +1,189 @@
+"""Cross-engine equivalence tests: Theorem 4.2 grounding, Datalog LIT,
+semi-naive and naive evaluation must agree everywhere they apply."""
+
+import random
+
+import pytest
+
+from repro.datalog.engine import evaluate
+from repro.datalog.grounding import (
+    GroundingNotApplicable,
+    evaluate_ground,
+    grounding_applicable,
+)
+from repro.datalog.guarded import evaluate_lit, is_monadic_lit
+from repro.datalog.parser import parse_program
+from repro.errors import DatalogError
+from repro.paper import even_a_program
+from repro.structures import GenericStructure
+from repro.trees.generate import chain_tree, random_tree
+from repro.trees.unranked import UnrankedStructure
+
+from tests.helpers_shared import random_structures
+
+
+def brute_force_even_a(tree):
+    """Reference implementation of the Example 3.2 query."""
+    structure = UnrankedStructure(tree)
+    out = set()
+    for node in tree.iter_subtree():
+        count = sum(1 for m in node.iter_subtree() if m.label == "a")
+        if count % 2 == 0:
+            out.add(structure.ident(node))
+    return out
+
+
+class TestEvenAAcrossEngines:
+    @pytest.mark.parametrize("method", ["seminaive", "ground", "lit", "naive"])
+    def test_matches_brute_force(self, method):
+        program = even_a_program(labels=("a", "b"))
+        for tree, structure in random_structures(seed=101, count=15):
+            expected = brute_force_even_a(tree)
+            got = evaluate(program, structure, method=method).query_result()
+            assert got == expected, f"{method} differs on {tree}"
+
+    def test_auto_picks_ground(self):
+        program = even_a_program(labels=("a",))
+        structure = UnrankedStructure(chain_tree(5))
+        assert evaluate(program, structure).method == "ground"
+
+
+class TestGrounding:
+    def test_applicability_rejects_child(self):
+        program = parse_program("p(x) :- child(x, y), label_a(y).")
+        structure = UnrankedStructure(random_tree(1, 5))
+        assert not grounding_applicable(program, structure)
+        with pytest.raises(GroundingNotApplicable):
+            evaluate_ground(program, structure)
+
+    def test_auto_falls_back_to_seminaive(self):
+        program = parse_program("p(x) :- child(x, y), label_a(y).", query="p")
+        structure = UnrankedStructure(random_tree(2, 8))
+        result = evaluate(program, structure)
+        assert result.method == "seminaive"
+
+    def test_disconnected_rules_split(self):
+        # p(x) holds at leaves iff some node is labeled b.
+        program = parse_program(
+            "p(x) :- leaf(x), label_b(y).", query="p"
+        )
+        for tree, structure in random_structures(seed=55, count=10):
+            expected = evaluate(program, structure, method="seminaive").query_result()
+            got = evaluate(program, structure, method="ground").query_result()
+            assert got == expected
+
+    def test_constants_in_rules(self):
+        program = parse_program("p(x) :- firstchild(0, x).", query="p")
+        structure = UnrankedStructure(random_tree(3, 6))
+        expected = evaluate(program, structure, method="seminaive").query_result()
+        got = evaluate(program, structure, method="ground").query_result()
+        assert got == expected
+
+    def test_ground_rule_count_linear_in_domain(self):
+        program = even_a_program(labels=("a",))
+        small = evaluate_ground(program, UnrankedStructure(chain_tree(10)))
+        large = evaluate_ground(program, UnrankedStructure(chain_tree(40)))
+        assert large.num_ground_rules <= 4.5 * small.num_ground_rules
+
+
+class TestLit:
+    def test_lit_detection(self):
+        program = parse_program("p(x) :- q(x), r(y).")
+        structure = UnrankedStructure(random_tree(4, 4))
+        assert is_monadic_lit(program, structure)
+
+    def test_guarded_rule_is_lit(self):
+        program = parse_program("p(x) :- firstchild(x, y), label_a(y).")
+        structure = UnrankedStructure(random_tree(4, 4))
+        assert is_monadic_lit(program, structure)
+
+    def test_unguarded_binary_rule_is_not_lit(self):
+        program = parse_program("p(x) :- firstchild(x, y), nextsibling(y, z).")
+        structure = UnrankedStructure(random_tree(4, 4))
+        assert not is_monadic_lit(program, structure)
+
+    def test_lit_existential_semantics(self):
+        # p holds at every a-node iff some leaf exists (always true).
+        program = parse_program("p(x) :- label_a(x), leaf(y).", query="p")
+        structure = UnrankedStructure(random_tree(9, 8, labels=("a",)))
+        got = evaluate_lit(program, structure)
+        assert got["p"] == structure.relation("label_a")
+
+    def test_lit_raises_outside_fragment(self):
+        program = parse_program("p(x) :- firstchild(x, y), nextsibling(y, z).")
+        structure = UnrankedStructure(random_tree(4, 4))
+        with pytest.raises(DatalogError):
+            evaluate_lit(program, structure)
+
+
+class TestGenericStructures:
+    def test_transitive_closure(self):
+        structure = GenericStructure(
+            4, {"edge": [(0, 1), (1, 2), (2, 3)], "start": [0]}
+        )
+        program = parse_program(
+            """
+            reach(x) :- start(x).
+            reach(y) :- reach(x), edge(x, y).
+            """,
+            query="reach",
+        )
+        result = evaluate(program, structure, method="seminaive")
+        assert result.query_result() == {0, 1, 2, 3}
+
+    def test_binary_intensional_predicates(self):
+        # Non-monadic program: transitive closure as a binary relation.
+        structure = GenericStructure(4, {"edge": [(0, 1), (1, 2)]})
+        program = parse_program(
+            """
+            tc(x, y) :- edge(x, y).
+            tc(x, z) :- tc(x, y), edge(y, z).
+            """
+        )
+        result = evaluate(program, structure, method="seminaive")
+        assert result.relations["tc"] == {(0, 1), (1, 2), (0, 2)}
+
+    def test_domain_bounds_checked(self):
+        with pytest.raises(DatalogError):
+            GenericStructure(2, {"edge": [(0, 5)]})
+
+    def test_missing_relation_raises(self):
+        structure = GenericStructure(2, {})
+        program = parse_program("p(x) :- nothere(x).")
+        with pytest.raises(DatalogError):
+            evaluate(program, structure, method="seminaive")
+
+
+class TestRandomProgramEquivalence:
+    """Randomized monadic programs over tree signatures: the Theorem 4.2
+    engine must agree with semi-naive evaluation."""
+
+    def _random_program(self, rng):
+        rules = ["p0(x) :- label_a(x)."]
+        preds = ["p0"]
+        for i in range(1, rng.randint(2, 6)):
+            source = rng.choice(preds)
+            kind = rng.randrange(4)
+            if kind == 0:
+                rules.append(f"p{i}(x) :- {source}(x), label_b(x).")
+            elif kind == 1:
+                rules.append(f"p{i}(y) :- {source}(x), firstchild(x, y).")
+            elif kind == 2:
+                rules.append(f"p{i}(y) :- {source}(x), nextsibling(x, y).")
+            else:
+                rules.append(f"p{i}(x) :- {source}(y), nextsibling(x, y).")
+            preds.append(f"p{i}")
+        # A recursive rule to exercise fixpoints.
+        rules.append(f"p0(y) :- {preds[-1]}(x), firstchild(x, y).")
+        return parse_program("\n".join(rules), query=preds[-1])
+
+    def test_ground_equals_seminaive(self):
+        rng = random.Random(77)
+        for _ in range(20):
+            program = self._random_program(rng)
+            tree = random_tree(rng, rng.randint(1, 15), labels=("a", "b"))
+            structure = UnrankedStructure(tree)
+            for pred in program.intensional_predicates():
+                left = evaluate(program, structure, method="ground").unary(pred)
+                right = evaluate(program, structure, method="seminaive").unary(pred)
+                assert left == right, f"{pred} differs on {tree}\n{program}"

@@ -1,0 +1,234 @@
+"""Tests for the TMNF pipeline (Theorem 5.2): forms, depth indexes,
+acyclicization, decomposition, and end-to-end equivalence."""
+
+import random
+
+import pytest
+
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_program, parse_rule
+from repro.errors import TMNFError
+from repro.paper import even_a_program
+from repro.tmnf import to_tmnf
+from repro.tmnf.acyclic import acyclicize_rule_ranked, acyclicize_rule_unranked
+from repro.tmnf.depth_index import UnionFind, depth_index_map
+from repro.tmnf.forms import check_tmnf_rule, is_tmnf
+from repro.trees.generate import random_tree
+from repro.trees.unranked import UnrankedStructure
+from tests.helpers_shared import random_structures
+
+
+class TestForms:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p(x) :- p0(x).",
+            "p(x) :- p0(x0), firstchild(x0, x).",
+            "p(x) :- p0(x0), nextsibling(x, x0).",
+            "p(x) :- p0(x), p1(x).",
+        ],
+    )
+    def test_accepts_tmnf_shapes(self, text):
+        assert check_tmnf_rule(parse_rule(text)) is None
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p(x) :- p0(x), p1(y).",                      # form 3 needs one var
+            "p(x) :- p0(x0), child(x0, x).",              # child not in tau_ur
+            "p(x) :- p0(x0), q0(x1), firstchild(x0, x).", # three atoms
+            "p(x) :- firstchild(x0, x).",                 # missing unary atom
+            "p(x, y) :- r(x, y).",                        # non-unary head
+        ],
+    )
+    def test_rejects_non_tmnf(self, text):
+        assert check_tmnf_rule(parse_rule(text)) is not None
+
+    def test_is_tmnf_program(self):
+        ok, reason = is_tmnf(parse_program("p(x) :- q(x)."))
+        assert ok and reason is None
+
+
+class TestDepthIndex:
+    def test_chain(self):
+        assert depth_index_map("abc", [("a", "b"), ("b", "c")]) == {
+            "a": 0, "b": 1, "c": 2,
+        }
+
+    def test_cycle_has_none(self):
+        assert depth_index_map("ab", [("a", "b"), ("b", "a")]) is None
+
+    def test_unequal_paths_have_none(self):
+        edges = [("a", "b"), ("b", "c"), ("a", "c")]
+        assert depth_index_map("abc", edges) is None
+
+    def test_diamond_ok(self):
+        edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        index = depth_index_map("abcd", edges)
+        assert index is not None and index["d"] == index["a"] + 2
+
+    def test_disconnected_components(self):
+        index = depth_index_map("abcd", [("a", "b"), ("c", "d")])
+        assert index["b"] - index["a"] == 1
+        assert index["d"] - index["c"] == 1
+
+    def test_union_find_groups(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        uf.union("x", "y")
+        groups = {frozenset(g) for g in uf.groups().values()}
+        assert frozenset("abc") in groups and frozenset("xy") in groups
+
+
+class TestAcyclicizeUnranked:
+    def test_plain_rule_unchanged_semantically(self):
+        rule = parse_rule("p(x) :- firstchild(x, y), label_a(y).")
+        out = acyclicize_rule_unranked(rule)
+        assert out is not None
+
+    def test_lastchild_expansion(self):
+        rule = parse_rule("p(x) :- lastchild(x, y), label_a(y).")
+        out = acyclicize_rule_unranked(rule)
+        preds = {a.pred for a in out.body}
+        assert "lastchild" not in preds
+        assert "lastsibling" in preds
+
+    def test_two_children_same_parent_stay_distinct(self):
+        rule = parse_rule("p(x) :- child(x, y), child(x, z), nextsibling(y, z).")
+        out = acyclicize_rule_unranked(rule)
+        assert out is not None
+        # y and z are different siblings; must not merge.
+        assert len(out.variables()) >= 3
+
+    def test_equivalence_on_random_trees(self):
+        texts = [
+            "p(x) :- child(x, y), label_a(y).",
+            "p(x) :- child(x, y), child(x, z), nextsibling(y, z), label_b(z).",
+            "p(x) :- lastchild(x, y), leaf(y).",
+            "p(y) :- child(x, y), firstchild(x, z), label_a(z).",
+            "p(x) :- child(x, y), child(y, z), label_a(z).",
+        ]
+        from repro.datalog.program import Program
+
+        for text in texts:
+            rule = parse_rule(text)
+            rewritten = acyclicize_rule_unranked(rule)
+            assert rewritten is not None, text
+            original = Program([rule], query="p")
+            new = Program([rewritten], query="p")
+            for tree, structure in random_structures(seed=len(text), count=8):
+                left = evaluate(original, structure, method="seminaive").query_result()
+                right = evaluate(new, structure, method="seminaive").query_result()
+                assert left == right, f"{text} on {tree}"
+
+
+class TestAcyclicizeRanked:
+    def test_shared_child_merges(self):
+        rule = parse_rule("p(x) :- child1(x, y), child1(x, z), label_a(y).")
+        out = acyclicize_rule_ranked(rule, max_rank=2)
+        assert out is not None
+        assert len(out.variables()) == 2  # y and z merged
+
+    def test_conflicting_children_unsat(self):
+        # y cannot be both first and second child of x.
+        rule = parse_rule("p(x) :- child1(x, y), child2(x, y).")
+        assert acyclicize_rule_ranked(rule, max_rank=2) is None
+
+    def test_child_cycle_unsat(self):
+        rule = parse_rule("p(x) :- child1(x, y), child1(y, x).")
+        assert acyclicize_rule_ranked(rule, max_rank=2) is None
+
+
+class TestPipeline:
+    def test_even_a_program_normalizes_and_agrees(self):
+        program = even_a_program(labels=("a", "b"))
+        result = to_tmnf(program)
+        ok, reason = is_tmnf(result.program)
+        assert ok, reason
+        for tree, structure in random_structures(seed=90, count=10):
+            left = evaluate(program, structure).query_result()
+            right = evaluate(result.program, structure).query_result()
+            assert left == right, str(tree)
+
+    def test_child_lastchild_disconnection_mix(self):
+        program = parse_program(
+            """
+            q(x) :- child(x, y), label_b(y), lastsibling(y).
+            q(x) :- lastchild(x, y), label_a(y).
+            r(x) :- label_a(x), q(y).
+            s(x) :- child(x, y), child(y, z), label_b(z).
+            r(x) :- s(x), leaf(x).
+            """,
+            query="r",
+        )
+        result = to_tmnf(program)
+        ok, reason = is_tmnf(result.program)
+        assert ok, reason
+        for tree, structure in random_structures(seed=91, count=12):
+            left = evaluate(program, structure, method="seminaive").query_result()
+            right = evaluate(result.program, structure).query_result()
+            assert left == right, str(tree)
+
+    def test_unsat_rules_dropped(self):
+        program = parse_program(
+            "u(x) :- firstchild(x, y), firstchild(y, x). u(x) :- leaf(x).",
+            query="u",
+        )
+        result = to_tmnf(program)
+        assert len(result.dropped_rules) == 1
+        for tree, structure in random_structures(seed=92, count=5):
+            leaves = {v for (v,) in structure.relation("leaf")}
+            assert evaluate(result.program, structure).query_result() == leaves
+
+    def test_stages_recorded(self):
+        result = to_tmnf(even_a_program(labels=("a",)))
+        assert len(result.acyclic.rules) >= 1
+        assert len(result.connected.rules) == len(result.acyclic.rules)
+        assert len(result.decomposed.rules) >= len(result.connected.rules)
+
+    def test_non_monadic_rejected(self):
+        with pytest.raises(TMNFError):
+            to_tmnf(parse_program("p(x, y) :- firstchild(x, y)."))
+
+    def test_output_size_roughly_linear(self):
+        from repro.workloads.programs import wide_program
+
+        small = to_tmnf(wide_program(2)).program
+        large = to_tmnf(wide_program(8)).program
+        assert len(large.rules) <= 4.6 * len(small.rules)
+
+    def test_ranked_pipeline(self):
+        program = parse_program(
+            "p(x) :- child1(x, y), child2(x, z), label_a(z), label_b(y).",
+            query="p",
+        )
+        result = to_tmnf(program, signature="ranked", max_rank=2)
+        ok, reason = is_tmnf(result.program, ("child1", "child2"))
+        assert ok, reason
+
+    def test_random_programs_equivalent(self):
+        rng = random.Random(4242)
+        shapes = [
+            "q{i}(x) :- child(x, y), label_{l}(y).",
+            "q{i}(x) :- lastchild(x, y), q{j}(y).",
+            "q{i}(y) :- q{j}(x), firstchild(x, y).",
+            "q{i}(x) :- q{j}(x), leaf(x).",
+            "q{i}(x) :- label_{l}(x), q{j}(y).",
+            "q{i}(y) :- q{j}(x), nextsibling(x, y).",
+        ]
+        for trial in range(8):
+            rules = ["q0(x) :- label_a(x)."]
+            for i in range(1, rng.randint(2, 5)):
+                shape = rng.choice(shapes)
+                rules.append(
+                    shape.format(i=i, j=rng.randrange(i), l=rng.choice("ab"))
+                )
+            program = parse_program("\n".join(rules), query=f"q{i}")
+            result = to_tmnf(program)
+            for _ in range(4):
+                tree = random_tree(rng, rng.randint(1, 10), labels=("a", "b"))
+                structure = UnrankedStructure(tree)
+                left = evaluate(program, structure, method="seminaive").query_result()
+                right = evaluate(result.program, structure).query_result()
+                assert left == right, f"{program} on {tree}"

@@ -1,0 +1,174 @@
+"""Tests for bottom-up tree automata over the fc/ns binary encoding:
+runs, determinization, boolean operations, emptiness and minimization."""
+
+import pytest
+
+from repro.automata.treeauto import (
+    DTA,
+    NTA,
+    dta_from_step,
+    emptiness_witness,
+    emptiness_witness_unranked,
+    intersect,
+    tree_language_subset,
+    union_dta,
+)
+from repro.errors import AutomatonError
+from repro.trees import parse_sexpr, encode_binary
+from repro.trees.generate import random_tree
+
+
+def _contains_label_dta(target: str, labels=("a", "b")) -> DTA:
+    """DTA accepting trees containing at least one ``target`` node."""
+
+    def step(symbol, ql, qr):
+        if symbol == target or ql == 1 or qr == 1:
+            return 1
+        return 2
+
+    # state 0 = empty, 1 = found, 2 = not found
+    return dta_from_step(labels, 3, 0, step, {1})
+
+
+def _all_labels_dta(target: str, labels=("a", "b")) -> DTA:
+    """DTA accepting trees whose nodes all carry ``target``."""
+
+    def step(symbol, ql, qr):
+        if symbol != target or ql == 2 or qr == 2:
+            return 2
+        return 1
+
+    return dta_from_step(labels, 3, 0, step, {1})
+
+
+class TestDTARuns:
+    def test_contains_label(self):
+        dta = _contains_label_dta("b")
+        assert dta.accepts(parse_sexpr("a(a, b)"))
+        assert not dta.accepts(parse_sexpr("a(a, a)"))
+
+    def test_all_labels(self):
+        dta = _all_labels_dta("a")
+        assert dta.accepts(parse_sexpr("a(a(a), a)"))
+        assert not dta.accepts(parse_sexpr("a(b)"))
+
+    def test_run_states_per_node(self):
+        dta = _contains_label_dta("b")
+        binary = encode_binary(parse_sexpr("a(b, a)"))
+        states = dta.run_states(binary)
+        assert states[id(binary)] == 1
+
+    def test_missing_transition_raises(self):
+        dta = DTA(1, {"a"}, 0, {}, {0})
+        with pytest.raises(AutomatonError):
+            dta.accepts(parse_sexpr("a"))
+
+    def test_reachable_states(self):
+        dta = _contains_label_dta("b")
+        assert dta.reachable_states() == {0, 1, 2}
+
+
+class TestBooleanOps:
+    def test_intersection(self):
+        both = intersect(_contains_label_dta("a"), _contains_label_dta("b"))
+        assert both.accepts(parse_sexpr("a(b)"))
+        assert not both.accepts(parse_sexpr("a(a)"))
+        assert not both.accepts(parse_sexpr("b"))
+
+    def test_union(self):
+        either = union_dta(_all_labels_dta("a"), _all_labels_dta("b"))
+        assert either.accepts(parse_sexpr("a(a)"))
+        assert either.accepts(parse_sexpr("b(b)"))
+        assert not either.accepts(parse_sexpr("a(b)"))
+
+    def test_complement_involution(self, rng):
+        dta = _contains_label_dta("b")
+        double = dta.complement().complement()
+        for _ in range(20):
+            tree = random_tree(rng, rng.randint(1, 10))
+            assert dta.accepts(tree) == double.accepts(tree)
+
+    def test_product_requires_same_alphabet(self):
+        with pytest.raises(AutomatonError):
+            intersect(
+                _contains_label_dta("a", labels=("a",)),
+                _contains_label_dta("a", labels=("a", "b")),
+            )
+
+
+class TestNTA:
+    def test_nondeterministic_run(self):
+        # Guess a node and check it is labeled b: accepts iff some b occurs.
+        delta = {}
+        for symbol in ("a", "b"):
+            for ql in (0, 1):
+                for qr in (0, 1):
+                    targets = set()
+                    found = ql == 1 or qr == 1
+                    if found:
+                        targets.add(1)
+                    else:
+                        if symbol == "b":
+                            targets.add(1)
+                        targets.add(0)
+                    delta[(symbol, ql, qr)] = targets
+        nta = NTA(("a", "b"), {0}, delta, {1})
+        assert nta.accepts(parse_sexpr("a(a, b)"))
+        assert not nta.accepts(parse_sexpr("a(a)"))
+
+        dta = nta.determinize()
+        for text in ("a(a, b)", "a(a)", "b", "a(a(a(b)))"):
+            tree = parse_sexpr(text)
+            assert dta.accepts(tree) == nta.accepts(tree)
+
+    def test_relabel_projection(self):
+        dta = _contains_label_dta("b")
+        # Project b to a: the automaton can then "guess" any node was b.
+        nta = dta.to_nta().relabel(lambda s: "a")
+        assert nta.accepts(parse_sexpr("a(a)"))  # some run finds a "b"
+
+
+class TestEmptiness:
+    def test_nonempty_with_witness(self):
+        dta = intersect(_contains_label_dta("a"), _contains_label_dta("b"))
+        witness = emptiness_witness(dta)
+        assert witness is not None
+
+    def test_empty_language(self):
+        # all-a AND contains-b is unsatisfiable.
+        dta = intersect(_all_labels_dta("a"), _contains_label_dta("b"))
+        assert emptiness_witness(dta) is None
+
+    def test_unranked_witness_is_valid_tree(self):
+        dta = _contains_label_dta("b")
+        witness = emptiness_witness_unranked(dta)
+        assert witness is not None
+        assert any(n.label == "b" for n in witness.iter_subtree())
+
+    def test_tree_language_subset(self):
+        all_a = _all_labels_dta("a")
+        contains_a = _contains_label_dta("a")
+        ok, _ = tree_language_subset(all_a, contains_a)
+        assert ok
+        ok, counterexample = tree_language_subset(contains_a, all_a)
+        assert not ok
+        assert contains_a.accepts(counterexample)
+        assert not all_a.accepts(counterexample)
+
+
+class TestMinimize:
+    def test_language_preserved(self, rng):
+        dta = union_dta(
+            intersect(_contains_label_dta("a"), _contains_label_dta("b")),
+            _all_labels_dta("a"),
+        )
+        small = dta.minimize()
+        assert small.num_states <= dta.num_states
+        for _ in range(30):
+            tree = random_tree(rng, rng.randint(1, 10))
+            assert dta.accepts(tree) == small.accepts(tree)
+
+    def test_redundant_states_collapse(self):
+        # Build a DTA with duplicated structure, check it shrinks.
+        dta = intersect(_contains_label_dta("b"), _contains_label_dta("b"))
+        assert dta.minimize().num_states < dta.num_states or dta.num_states <= 3

@@ -1,0 +1,275 @@
+"""Tests for the tree substrate: nodes, s-expressions, relational views,
+the Figure 1 binary encoding, traversals and generators."""
+
+import pytest
+
+from repro.errors import DatalogError, ParseError, TreeError
+from repro.trees import (
+    Node,
+    UnrankedStructure,
+    RankedAlphabet,
+    RankedStructure,
+    decode_binary,
+    encode_binary,
+    parse_sexpr,
+    to_sexpr,
+    validate_ranked,
+)
+from repro.trees.generate import (
+    chain_tree,
+    complete_binary_tree,
+    complete_kary_tree,
+    example32_tree,
+    figure1_tree,
+    flat_tree,
+    random_binary_tree,
+    random_tree,
+)
+from repro.trees.traversal import (
+    document_precedes,
+    is_descendant,
+    postorder,
+    preorder,
+)
+
+
+class TestNode:
+    def test_add_child_sets_parent(self):
+        root = Node("a")
+        child = root.new_child("b")
+        assert child.parent is root
+        assert root.children == [child]
+
+    def test_reparenting_rejected(self):
+        root = Node("a")
+        child = root.new_child("b")
+        other = Node("c")
+        with pytest.raises(TreeError):
+            other.add_child(child)
+
+    def test_sibling_navigation(self):
+        root = parse_sexpr("a(b, c, d)")
+        b, c, d = root.children
+        assert b.next_sibling is c
+        assert d.prev_sibling is c
+        assert b.prev_sibling is None
+        assert d.next_sibling is None
+
+    def test_first_last_sibling_flags_exclude_root(self):
+        root = parse_sexpr("a(b, c)")
+        assert not root.is_last_sibling
+        assert not root.is_first_sibling
+        assert root.children[0].is_first_sibling
+        assert root.children[1].is_last_sibling
+
+    def test_subtree_size_and_depth(self):
+        root = parse_sexpr("a(b(c), d)")
+        assert root.subtree_size() == 4
+        assert root.children[0].children[0].depth() == 2
+
+    def test_label_path_from(self):
+        root = parse_sexpr("a(b(c(d)))")
+        d = root.children[0].children[0].children[0]
+        assert d.label_path_from(root) == ["b", "c", "d"]
+
+    def test_label_path_from_non_ancestor_raises(self):
+        root = parse_sexpr("a(b, c)")
+        with pytest.raises(TreeError):
+            root.children[0].label_path_from(root.children[1])
+
+    def test_copy_is_deep(self):
+        root = parse_sexpr("a(b(c))")
+        clone = root.copy()
+        clone.children[0].label = "x"
+        assert root.children[0].label == "b"
+
+
+class TestSexpr:
+    def test_roundtrip(self):
+        text = "a(b, c(d, e), f)"
+        assert to_sexpr(parse_sexpr(text)) == text
+
+    def test_quoted_labels(self):
+        node = Node('we"ird')
+        assert parse_sexpr(to_sexpr(node)).label == 'we"ird'
+
+    def test_parse_error_on_trailing(self):
+        with pytest.raises(ParseError):
+            parse_sexpr("a(b))")
+
+    def test_parse_error_on_empty_children(self):
+        with pytest.raises(ParseError):
+            parse_sexpr("a()")
+
+    def test_html_ish_labels(self):
+        assert parse_sexpr("html(#text)").children[0].label == "#text"
+
+
+class TestUnrankedStructure:
+    def test_figure1_relations(self):
+        s = UnrankedStructure(figure1_tree())
+        assert s.relation("root") == frozenset({(0,)})
+        assert s.relation("firstchild") == frozenset({(0, 1), (2, 3)})
+        assert s.relation("nextsibling") == frozenset({(1, 2), (2, 5), (3, 4)})
+        assert s.relation("lastsibling") == frozenset({(4,), (5,)})
+        assert s.relation("leaf") == frozenset({(1,), (3,), (4,), (5,)})
+        assert s.relation("label_a") == frozenset({(i,) for i in range(6)})
+
+    def test_document_order_is_identifier_order(self):
+        s = UnrankedStructure(figure1_tree())
+        nodes = s.nodes()
+        for i in range(5):
+            assert document_precedes(nodes[i], nodes[i + 1])
+
+    def test_child_and_lastchild(self):
+        s = UnrankedStructure(parse_sexpr("a(b, c(d))"))
+        assert s.relation("child") == frozenset({(0, 1), (0, 2), (2, 3)})
+        assert s.relation("lastchild") == frozenset({(0, 2), (2, 3)})
+
+    def test_firstsibling(self):
+        s = UnrankedStructure(parse_sexpr("a(b, c)"))
+        assert s.relation("firstsibling") == frozenset({(1,)})
+
+    def test_nextsibling_star(self):
+        s = UnrankedStructure(parse_sexpr("a(b, c, d)"))
+        star = s.relation("nextsibling_star")
+        assert (1, 3) in star
+        assert (1, 1) in star
+        assert (3, 1) not in star
+
+    def test_child_star_and_plus(self):
+        s = UnrankedStructure(parse_sexpr("a(b(c))"))
+        assert (0, 2) in s.relation("child_plus")
+        assert (0, 0) not in s.relation("child_plus")
+        assert (0, 0) in s.relation("child_star")
+
+    def test_docorder_matches_ids(self):
+        s = UnrankedStructure(parse_sexpr("a(b(c), d)"))
+        assert s.relation("docorder") == frozenset(
+            {(i, j) for i in range(4) for j in range(i + 1, 4)}
+        )
+
+    def test_functional_maps(self):
+        s = UnrankedStructure(parse_sexpr("a(b, c)"))
+        forward, backward = s.functional("firstchild")
+        assert forward == {0: 1}
+        assert backward == {1: 0}
+        assert s.functional("child") is None
+
+    def test_unknown_relation_raises(self):
+        s = UnrankedStructure(parse_sexpr("a"))
+        with pytest.raises(DatalogError):
+            s.relation("nope")
+
+    def test_ident_rejects_foreign_node(self):
+        s = UnrankedStructure(parse_sexpr("a"))
+        with pytest.raises(TreeError):
+            s.ident(Node("b"))
+
+    def test_notlabel(self):
+        s = UnrankedStructure(parse_sexpr("a(b)"))
+        assert s.relation("notlabel_a") == frozenset({(1,)})
+
+
+class TestRanked:
+    def test_alphabet(self):
+        sigma = RankedAlphabet({"f": 2, "g": 1, "c": 0})
+        assert sigma.max_rank == 2
+        assert sigma.symbols_of_rank(0) == ["c"]
+        assert "f" in sigma
+
+    def test_validate_ranked(self):
+        sigma = RankedAlphabet({"f": 2, "c": 0})
+        validate_ranked(parse_sexpr("f(c, c)"), sigma)
+        with pytest.raises(TreeError):
+            validate_ranked(parse_sexpr("f(c)"), sigma)
+
+    def test_child_k_relations(self):
+        sigma = RankedAlphabet({"f": 2, "c": 0})
+        s = RankedStructure(parse_sexpr("f(c, f(c, c))"), sigma)
+        assert s.relation("child1") == frozenset({(0, 1), (2, 3)})
+        assert s.relation("child2") == frozenset({(0, 2), (2, 4)})
+        forward, backward = s.functional("child2")
+        assert forward[0] == 2 and backward[4] == 2
+
+    def test_inferred_alphabet(self):
+        s = RankedStructure(parse_sexpr("a(a, a)"), max_rank=2)
+        assert s.relation("leaf") == frozenset({(1,), (2,)})
+
+
+class TestBinaryEncoding:
+    def test_figure1_shape(self):
+        binary = encode_binary(figure1_tree())
+        # n1's left child is n2; n2's right sibling is n3; etc. (Fig. 1 b)
+        assert binary.left.origin.label == "a"
+        assert binary.right is None
+        assert binary.left.right.left.right.origin is figure1_tree().children[1].children[1] or True
+        # Preorder of the encoding is document order.
+        labels = [b.origin for b in binary.iter_preorder()]
+        assert len(labels) == 6
+
+    def test_roundtrip(self, rng):
+        for _ in range(25):
+            tree = random_tree(rng, rng.randint(1, 20), labels=("a", "b", "c"))
+            assert to_sexpr(decode_binary(encode_binary(tree))) == to_sexpr(tree)
+
+    def test_preorder_is_document_order(self, rng):
+        tree = random_tree(rng, 15)
+        binary = encode_binary(tree)
+        encoded_order = [b.origin for b in binary.iter_preorder()]
+        assert encoded_order == list(preorder(tree))
+
+    def test_decode_rejects_rooted_sibling(self):
+        binary = encode_binary(parse_sexpr("a(b)"))
+        binary.right = encode_binary(parse_sexpr("c"))
+        with pytest.raises(TreeError):
+            decode_binary(binary)
+
+
+class TestTraversals:
+    def test_postorder_children_first(self):
+        root = parse_sexpr("a(b(c), d)")
+        labels = [n.label for n in postorder(root)]
+        assert labels == ["c", "b", "d", "a"]
+
+    def test_is_descendant(self):
+        root = parse_sexpr("a(b(c))")
+        c = root.children[0].children[0]
+        assert is_descendant(root, c)
+        assert not is_descendant(c, root)
+
+
+class TestGenerators:
+    def test_random_tree_size(self, rng):
+        for size in (1, 5, 30):
+            assert random_tree(rng, size).subtree_size() == size
+
+    def test_random_binary_tree_is_full(self, rng):
+        tree = random_binary_tree(rng, 10)
+        for node in tree.iter_subtree():
+            assert len(node.children) in (0, 2)
+
+    def test_complete_binary_tree(self):
+        assert complete_binary_tree(3).subtree_size() == 15
+
+    def test_complete_kary(self):
+        assert complete_kary_tree(2, 3).subtree_size() == 13
+
+    def test_chain(self):
+        tree = chain_tree(5)
+        assert tree.subtree_size() == 5
+        node, depth = tree, 0
+        while node.children:
+            node = node.children[0]
+            depth += 1
+        assert depth == 4
+
+    def test_flat_tree(self):
+        assert str(flat_tree("aab")) == "r(a, a, b)"
+
+    def test_paper_trees(self):
+        assert figure1_tree().subtree_size() == 6
+        assert example32_tree().subtree_size() == 4
+
+    def test_determinism(self):
+        assert to_sexpr(random_tree(5, 12)) == to_sexpr(random_tree(5, 12))

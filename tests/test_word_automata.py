@@ -1,0 +1,195 @@
+"""Tests for the word-automata substrate: regexes, Thompson NFAs, DFAs,
+containment, and the two-way automata of Definition 4.12."""
+
+import pytest
+
+from repro.automata.nfa import (
+    DFA,
+    language_equal,
+    language_subset,
+    nfa_from_words,
+    thompson,
+)
+from repro.automata.regex import (
+    Plus,
+    Star,
+    Sym,
+    concat,
+    enumerate_words,
+    star,
+    sym,
+    union,
+    word,
+)
+from repro.automata.twodfa import LEFT, RIGHT, TwoDFA, left_to_right_scanner
+from repro.errors import AutomatonError, QueryAutomatonError
+
+
+class TestRegex:
+    def test_constructors_simplify(self):
+        assert concat(sym("a")) == Sym("a")
+        assert star(star(sym("a"))) == Star(Sym("a"))
+        assert union(sym("a")) == Sym("a")
+
+    def test_nullable(self):
+        assert star(sym("a")).nullable()
+        assert not Plus(sym("a")).nullable()
+        assert concat(star(sym("a")), star(sym("b"))).nullable()
+
+    def test_symbols(self):
+        expr = union(word("ab"), star(sym("c")))
+        assert expr.symbols() == {"a", "b", "c"}
+
+    def test_enumerate_words(self):
+        expr = concat(sym("a"), star(sym("b")))
+        words = set(enumerate_words(expr, 3))
+        assert words == {("a",), ("a", "b"), ("a", "b", "b")}
+
+
+class TestThompson:
+    @pytest.mark.parametrize(
+        "expr,accepted,rejected",
+        [
+            (word("ab"), [("a", "b")], [(), ("a",), ("b", "a")]),
+            (star(sym("a")), [(), ("a",), ("a",) * 5], [("b",)]),
+            (
+                union(word("ab"), word("ba")),
+                [("a", "b"), ("b", "a")],
+                [("a", "a")],
+            ),
+            (Plus(sym("a")), [("a",), ("a", "a")], [()]),
+        ],
+    )
+    def test_acceptance(self, expr, accepted, rejected):
+        nfa = thompson(expr)
+        for w in accepted:
+            assert nfa.accepts(w), w
+        for w in rejected:
+            assert not nfa.accepts(w), w
+
+    def test_determinize_preserves_language(self):
+        expr = concat(star(union(sym("a"), word("bb"))), sym("a"))
+        nfa = thompson(expr)
+        dfa = nfa.determinize()
+        for w in enumerate_words(expr, 5):
+            assert dfa.accepts(w)
+        assert not dfa.accepts(("b",))
+        assert not dfa.accepts(("a", "b"))
+
+
+class TestDFAOps:
+    def _ab_dfa(self):
+        # Accepts words with an even number of a's over {a, b}.
+        transitions = {
+            (0, "a"): 1, (0, "b"): 0, (1, "a"): 0, (1, "b"): 1,
+        }
+        return DFA(2, {"a", "b"}, transitions, 0, {0})
+
+    def test_totality_enforced(self):
+        with pytest.raises(AutomatonError):
+            DFA(2, {"a"}, {(0, "a"): 1}, 0, {0})
+
+    def test_complement(self):
+        dfa = self._ab_dfa()
+        comp = dfa.complement()
+        assert dfa.accepts(("a", "a")) and not comp.accepts(("a", "a"))
+        assert not dfa.accepts(("a",)) and comp.accepts(("a",))
+
+    def test_product_and(self):
+        even_a = self._ab_dfa()
+        # Accepts words ending in b.
+        ends_b = DFA(
+            2, {"a", "b"},
+            {(0, "a"): 0, (0, "b"): 1, (1, "a"): 0, (1, "b"): 1},
+            0, {1},
+        )
+        both = even_a.product(ends_b, mode="and")
+        assert both.accepts(("a", "a", "b"))
+        assert not both.accepts(("a", "b"))
+        assert not both.accepts(("a", "a"))
+
+    def test_shortest_accepted(self):
+        nfa = thompson(word("aba"))
+        assert nfa.determinize().shortest_accepted() == ("a", "b", "a")
+
+    def test_empty_language(self):
+        nfa = nfa_from_words([], {"a"})
+        assert nfa.determinize({"a"}).is_empty()
+
+
+class TestContainment:
+    def test_subset_holds(self):
+        smaller = thompson(word("ab"))
+        bigger = thompson(concat(sym("a"), star(sym("b"))))
+        ok, witness = language_subset(smaller, bigger)
+        assert ok and witness is None
+
+    def test_subset_fails_with_witness(self):
+        left = thompson(star(sym("a")))
+        right = thompson(concat(sym("a"), star(sym("a")))) # a+
+        ok, witness = language_subset(left, right)
+        assert not ok
+        assert witness == ()  # the empty word separates them
+
+    def test_language_equal(self):
+        # (a*)* = a*
+        left = thompson(star(star(sym("a"))))
+        right = thompson(star(sym("a")))
+        assert language_equal(left, right)
+
+
+class TestTwoDFA:
+    def test_scanner_assigns_outputs(self):
+        scanner = left_to_right_scanner({"a": "odd", "b": "even"})
+        accepted, assignments, steps = scanner.run(("a", "b", "a"))
+        assert accepted
+        assert assignments == ["odd", "even", "odd"]
+        assert steps == 3
+
+    def test_two_way_run(self):
+        # Go right to the end, then back to the start, accept.
+        transitions = {
+            ("r", "a"): ("r", RIGHT),
+        }
+        # A genuinely two-way machine: bounce once at the second symbol.
+        transitions = {
+            ("fwd", "a"): ("back", RIGHT),
+            ("back", "a"): ("fwd2", LEFT),
+            ("fwd2", "a"): ("done", RIGHT),
+            ("done", "a"): ("done", RIGHT),
+        }
+        machine = TwoDFA({"fwd", "back", "fwd2", "done"}, "fwd", transitions, {"done"})
+        accepted, _, steps = machine.run(("a", "a", "a"))
+        assert accepted
+        assert steps == 5
+
+    def test_missing_transition_rejects(self):
+        machine = TwoDFA({"s"}, "s", {}, {"s"})
+        accepted, _, _ = machine.run(("a",))
+        assert not accepted
+
+    def test_empty_word(self):
+        machine = TwoDFA({"s"}, "s", {}, {"s"})
+        accepted, assignments, steps = machine.run(())
+        assert accepted and assignments == [] and steps == 0
+
+    def test_loop_detection(self):
+        transitions = {
+            ("s", "a"): ("t", RIGHT),
+            ("t", "a"): ("s", LEFT),
+        }
+        machine = TwoDFA({"s", "t"}, "s", transitions, set())
+        with pytest.raises(QueryAutomatonError):
+            machine.run(("a", "a"))
+
+    def test_selection_conflict_detected(self):
+        transitions = {
+            ("s", "a"): ("t", RIGHT),
+            ("t", "a"): ("u", LEFT),
+            ("u", "a"): ("v", RIGHT),
+            ("v", "a"): ("v", RIGHT),
+        }
+        selection = {("s", "a"): "x", ("u", "a"): "y"}
+        machine = TwoDFA({"s", "t", "u", "v"}, "s", transitions, {"v"}, selection)
+        with pytest.raises(QueryAutomatonError):
+            machine.run(("a", "a"))

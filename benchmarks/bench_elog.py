@@ -1,9 +1,14 @@
 """E-C6.4 (Corollary 6.4): Elog- wrappers evaluate in O(|P| * |dom|).
 
 A realistic wrapper (records + fields on synthetic catalog pages) swept
-over growing documents, through both evaluation paths:
+over growing documents, through three evaluation paths:
 
-* direct semi-naive evaluation of the ``tau_ur u {child}`` translation;
+* per-call interpreted semi-naive evaluation of the ``tau_ur u {child}``
+  translation (join orders and indexes rebuilt on every call);
+* the compile-once path: the wrapper compiled to a
+  :class:`repro.datalog.plan.CompiledProgram` and the document wrapped in a
+  shared :class:`repro.structures.IndexedStructure`, both hoisted out of
+  the timed region -- the production "run over a stream of pages" shape;
 * the paper's full chain -- TMNF normalization (Theorem 5.2) + the
   linear-time Theorem 4.2 engine (the normalization is hoisted out of the
   timed region: it depends on the wrapper only).
@@ -12,9 +17,11 @@ over growing documents, through both evaluation paths:
 import pytest
 
 from repro.datalog.engine import evaluate
+from repro.datalog.seminaive import evaluate_seminaive
 from repro.elog.parser import parse_elog
-from repro.elog.translate import elog_to_datalog
+from repro.elog.translate import compile_elog, elog_to_datalog
 from repro.html import parse_html
+from repro.structures import as_indexed
 from repro.tmnf import to_tmnf
 from repro.trees.unranked import UnrankedStructure
 from repro.workloads import catalog_page
@@ -32,10 +39,23 @@ def _structure(items: int) -> UnrankedStructure:
 
 @pytest.mark.parametrize("items", [20, 80, 320])
 def test_elog_seminaive_scaling(benchmark, items):
+    """Per-call interpreted baseline: fresh indexes + join orders each call."""
     program = parse_elog(_WRAPPER, query="price")
     datalog = elog_to_datalog(program)
     structure = _structure(items)
-    result = benchmark(evaluate, datalog, structure, "seminaive")
+
+    relations = benchmark(evaluate_seminaive, datalog, structure)
+    assert len(relations["price"]) >= items
+
+
+@pytest.mark.parametrize("items", [20, 80, 320])
+def test_elog_compiled_scaling(benchmark, items):
+    """Compile-once path: plan + indexed document reused across runs."""
+    program = parse_elog(_WRAPPER, query="price")
+    compiled, run_method = compile_elog(program)
+    structure = as_indexed(_structure(items))
+    compiled.run(structure, method=run_method)  # warm the document indexes
+    result = benchmark(compiled.run, structure, run_method)
     assert len(result.query_result()) >= items
 
 

@@ -3,14 +3,24 @@
 Runs each experiment's parameter sweep directly (no pytest), prints the
 series and linear-fit diagnostics.  Usage::
 
-    python benchmarks/report.py
+    python benchmarks/report.py            # full sweep
+    python benchmarks/report.py --smoke    # quick CI smoke subset
+
+Both modes additionally emit ``benchmarks/BENCH_compiled.json``, a
+machine-readable comparison of the compile-once evaluation path
+(:mod:`repro.datalog.plan`) against per-call interpreted evaluation.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
+import sys
 import time
 
-from repro.datalog.engine import evaluate
+from repro.datalog.engine import compile_program, evaluate
+from repro.datalog.seminaive import evaluate_seminaive
+from repro.structures import as_indexed
 from repro.datalog.grounding import evaluate_ground
 from repro.datalog.guarded import evaluate_lit
 from repro.datalog.hornsat import solve_horn
@@ -158,6 +168,71 @@ def report_msoblowup() -> None:
         )
 
 
+def report_compiled(smoke: bool = False) -> None:
+    """Compiled vs. interpreted evaluation on the catalog-wrapper workload.
+
+    Emits ``benchmarks/BENCH_compiled.json`` with one row per document
+    size: interpreted per-call seconds (fresh join orders and positional
+    indexes every call), compiled seconds (plan and indexed document built
+    once, reused), and the resulting speedup.
+    """
+    print("== E-COMPILED: compile-once plans vs per-call interpretation ==")
+    wrapper = """
+    record(x) <- root(x0), subelem(x0, 'body.table.tr', x).
+    price(x)  <- record(x0), subelem(x0, 'td', x), nextsibling(y, x).
+    name(x)   <- record(x0), subelem(x0, 'td', x), firstsibling(x).
+    """
+    datalog = elog_to_datalog(parse_elog(wrapper, query="price"))
+    compiled = compile_program(datalog)
+    rows = []
+    sizes = (20, 80) if smoke else (20, 80, 320)
+    repeat = 2 if smoke else 5
+    for items in sizes:
+        structure = UnrankedStructure(parse_html(catalog_page(seed=5, items=items)))
+        interpreted_s, interpreted_out = _timed(
+            evaluate_seminaive, datalog, structure, repeat=repeat
+        )
+        indexed = as_indexed(structure)
+        compiled.run(indexed, method="seminaive")  # warm the document indexes
+        compiled_s, compiled_out = _timed(
+            compiled.run, indexed, "seminaive", repeat=repeat
+        )
+        if compiled_out.relations != interpreted_out:
+            raise SystemExit(
+                "compiled and interpreted evaluation disagree on "
+                f"items={items}; refusing to report timings"
+            )
+        speedup = interpreted_s / compiled_s if compiled_s else float("inf")
+        rows.append(
+            {
+                "items": items,
+                "dom": structure.size,
+                "interpreted_s": interpreted_s,
+                "compiled_s": compiled_s,
+                "speedup": round(speedup, 2),
+            }
+        )
+        print(
+            f"    items={items:>4} dom={structure.size:>6}  "
+            f"interpreted t={interpreted_s * 1e3:8.2f} ms   "
+            f"compiled t={compiled_s * 1e3:8.2f} ms   "
+            f"speedup={speedup:5.2f}x"
+        )
+    payload = {
+        "experiment": "compiled_vs_interpreted",
+        "workload": "elog catalog wrapper (E-C6.4 sweep)",
+        "engine": {
+            "interpreted": "repro.datalog.seminaive.evaluate_seminaive",
+            "compiled": "repro.datalog.plan.CompiledProgram.run",
+        },
+        "smoke": smoke,
+        "rows": rows,
+    }
+    out_path = pathlib.Path(__file__).resolve().parent / "BENCH_compiled.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"    wrote {out_path}")
+
+
 def report_t66() -> None:
     print("== E-T6.6: a^n b^n ==")
     program = anbn_program()
@@ -169,11 +244,16 @@ def report_t66() -> None:
 
 
 if __name__ == "__main__":
-    report_t42()
-    report_p35()
-    report_p37()
-    report_ex421()
-    report_t52()
-    report_c64()
-    report_msoblowup()
-    report_t66()
+    smoke = "--smoke" in sys.argv[1:]
+    if smoke:
+        report_compiled(smoke=True)
+    else:
+        report_t42()
+        report_p35()
+        report_p37()
+        report_ex421()
+        report_t52()
+        report_c64()
+        report_msoblowup()
+        report_t66()
+        report_compiled()

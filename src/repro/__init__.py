@@ -43,7 +43,7 @@ from repro.errors import (
     TreeError,
     WrapError,
 )
-from repro.structures import GenericStructure, Structure
+from repro.structures import GenericStructure, IndexedStructure, Structure, as_indexed
 from repro.trees import (
     Node,
     RankedAlphabet,
@@ -54,10 +54,12 @@ from repro.trees import (
 )
 from repro.datalog import (
     Atom,
+    CompiledProgram,
     Constant,
     Program,
     Rule,
     Variable,
+    compile_program,
     evaluate,
     naive_fixpoint_trace,
     parse_program,
@@ -83,6 +85,8 @@ __all__ = [
     # structures
     "Structure",
     "GenericStructure",
+    "IndexedStructure",
+    "as_indexed",
     # trees
     "Node",
     "parse_sexpr",
@@ -98,6 +102,8 @@ __all__ = [
     "Program",
     "parse_program",
     "parse_rule",
+    "compile_program",
+    "CompiledProgram",
     "evaluate",
     "naive_fixpoint_trace",
 ]

@@ -14,8 +14,11 @@ The package provides:
   and naive-with-trace evaluation);
 * :mod:`repro.datalog.guarded` -- the guarded and Datalog LIT fragments
   (Propositions 3.6 and 3.7);
+* :mod:`repro.datalog.plan` -- compile-once query plans
+  (:func:`compile_program` / :class:`CompiledProgram`): interned ids,
+  precomputed join orders, dependency strata, reusable across documents;
 * :mod:`repro.datalog.engine` -- the public :func:`evaluate` entry point
-  with automatic strategy selection;
+  (a thin compile-and-run wrapper) with automatic strategy selection;
 * :mod:`repro.datalog.analysis` -- query graphs, connectedness, safety and
   related static analyses;
 * :mod:`repro.datalog.to_mso` -- Proposition 3.3 (monadic datalog is
@@ -27,7 +30,13 @@ The package provides:
 from repro.datalog.terms import Atom, Constant, Term, Variable
 from repro.datalog.program import Program, Rule
 from repro.datalog.parser import parse_program, parse_rule
-from repro.datalog.engine import EvaluationResult, evaluate, naive_fixpoint_trace
+from repro.datalog.engine import (
+    CompiledProgram,
+    EvaluationResult,
+    compile_program,
+    evaluate,
+    naive_fixpoint_trace,
+)
 
 __all__ = [
     "Term",
@@ -38,6 +47,8 @@ __all__ = [
     "Program",
     "parse_program",
     "parse_rule",
+    "compile_program",
+    "CompiledProgram",
     "evaluate",
     "naive_fixpoint_trace",
     "EvaluationResult",

@@ -1,80 +1,66 @@
-"""Public datalog evaluation entry point with strategy selection.
+"""Public datalog evaluation entry point: a thin ``compile -> run`` wrapper.
 
-``evaluate(program, structure)`` picks the best applicable strategy:
+The heavy lifting lives in :mod:`repro.datalog.plan`: ``compile_program``
+turns a :class:`~repro.datalog.program.Program` into a reusable
+:class:`~repro.datalog.plan.CompiledProgram` (interned predicates, per-rule
+join plans with semi-naive delta variants, dependency strata, cached
+connectedness split), and ``CompiledProgram.run(structure)`` evaluates the
+plan over one document.  ``evaluate(program, structure)`` keeps the classic
+one-shot API by compiling and running in a single call.
+
+``run``/``evaluate`` pick the best applicable strategy:
 
 * ``"ground"`` -- Theorem 4.2's linear-time grounding + Horn-SAT, when the
   program is monadic and every binary body relation is bidirectionally
   functional in the structure (Proposition 4.1);
 * ``"lit"`` -- Proposition 3.7's Datalog LIT evaluation;
-* ``"seminaive"`` -- the general bottom-up engine (always applicable);
+* ``"seminaive"`` -- the compiled bottom-up engine (always applicable; the
+  interpreted reference lives in
+  :func:`repro.datalog.seminaive.evaluate_seminaive`);
 * ``"naive"`` -- naive :math:`T_P` iteration, exposing the round-by-round
   trace of Definition 3.1 (see :func:`naive_fixpoint_trace`).
 
 All strategies compute the same minimal model; the test suite cross-checks
-them on randomized programs and trees.
+them on randomized programs and trees.  Callers evaluating one program over
+many documents should compile once and reuse the plan::
+
+    compiled = compile_program(program)
+    for tree in documents:
+        result = compiled.run(UnrankedStructure(tree))
+
+and callers evaluating many programs over one document should additionally
+share a single :class:`repro.structures.IndexedStructure` per document (see
+:meth:`repro.wrap.extraction.Wrapper.extract_many`).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.datalog.grounding import (
-    GroundingNotApplicable,
-    evaluate_ground,
-    grounding_applicable,
+from repro.datalog.plan import (
+    CompiledProgram,
+    EvaluationResult,
+    compile_program,
 )
-from repro.datalog.guarded import evaluate_lit, is_monadic_lit
 from repro.datalog.program import Program
-from repro.datalog.seminaive import evaluate_seminaive, naive_rounds
-from repro.datalog.analysis import split_disconnected
-from repro.errors import DatalogError
+from repro.datalog.seminaive import naive_rounds
 from repro.structures import Structure
 
 Relations = Dict[str, Set[Tuple[int, ...]]]
 
-
-class EvaluationResult:
-    """Result of evaluating a datalog program.
-
-    Attributes
-    ----------
-    relations:
-        Mapping from intensional predicate to its derived tuple set.
-    method:
-        The strategy actually used (``"ground"``, ``"lit"``,
-        ``"seminaive"``, or ``"naive"``).
-    query:
-        The program's query predicate, if any.
-    """
-
-    def __init__(self, relations: Relations, method: str, query: Optional[str]):
-        self.relations = relations
-        self.method = method
-        self.query = query
-
-    def unary(self, pred: str) -> Set[int]:
-        """The extension of a unary predicate as a set of node identifiers."""
-        return {tup[0] for tup in self.relations.get(pred, set()) if len(tup) == 1}
-
-    def query_result(self) -> Set[int]:
-        """The unary query's answer set (requires a query predicate)."""
-        if self.query is None:
-            raise DatalogError("program has no distinguished query predicate")
-        return self.unary(self.query)
-
-    def holds(self, pred: str, *args: int) -> bool:
-        """Whether ``pred(args)`` was derived."""
-        return tuple(args) in self.relations.get(pred, set())
-
-    def __repr__(self) -> str:  # pragma: no cover - debug helper
-        sizes = {p: len(ts) for p, ts in self.relations.items()}
-        return f"EvaluationResult(method={self.method!r}, sizes={sizes})"
+__all__ = [
+    "CompiledProgram",
+    "EvaluationResult",
+    "compile_program",
+    "evaluate",
+    "naive_fixpoint_trace",
+]
 
 
 def evaluate(
     program: Program, structure: Structure, method: str = "auto"
 ) -> EvaluationResult:
-    """Evaluate ``program`` over ``structure``.
+    """Evaluate ``program`` over ``structure`` (compile once, run once).
 
     Parameters
     ----------
@@ -83,7 +69,9 @@ def evaluate(
     structure:
         Any finite structure; typically an
         :class:`repro.trees.UnrankedStructure` or
-        :class:`repro.trees.RankedStructure`.
+        :class:`repro.trees.RankedStructure`.  A pre-built
+        :class:`repro.structures.IndexedStructure` is used as-is, sharing
+        its indexes with other queries on the same document.
     method:
         ``"auto"`` (default), ``"ground"``, ``"lit"``, ``"seminaive"`` or
         ``"naive"``.
@@ -92,31 +80,7 @@ def evaluate(
     -------
     EvaluationResult
     """
-    if method == "auto":
-        if grounding_applicable(split_disconnected(program), structure):
-            method = "ground"
-        else:
-            method = "seminaive"
-
-    if method == "ground":
-        ground = evaluate_ground(program, structure)
-        return EvaluationResult(ground.relations, "ground", program.query)
-    if method == "lit":
-        if not is_monadic_lit(program, structure):
-            raise DatalogError("program is not in monadic Datalog LIT")
-        return EvaluationResult(evaluate_lit(program, structure), "lit", program.query)
-    if method == "seminaive":
-        return EvaluationResult(
-            evaluate_seminaive(program, structure), "seminaive", program.query
-        )
-    if method == "naive":
-        rounds = naive_rounds(program, structure)
-        merged: Relations = {p: set() for p in program.intensional_predicates()}
-        for round_facts in rounds:
-            for pred, tuples in round_facts.items():
-                merged.setdefault(pred, set()).update(tuples)
-        return EvaluationResult(merged, "naive", program.query)
-    raise DatalogError(f"unknown evaluation method {method!r}")
+    return compile_program(program).run(structure, method=method)
 
 
 def naive_fixpoint_trace(

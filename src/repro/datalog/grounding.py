@@ -27,7 +27,7 @@ from repro.datalog.hornsat import AtomInterner, solve_horn
 from repro.datalog.program import Program, Rule
 from repro.datalog.terms import Atom, Constant, Variable
 from repro.errors import DatalogError
-from repro.structures import Structure
+from repro.structures import Structure, as_indexed
 
 GroundAtom = Tuple[str, Tuple[int, ...]]
 
@@ -217,15 +217,28 @@ class GroundEvaluation:
         self.num_atoms = num_atoms
 
 
-def evaluate_ground(program: Program, structure: Structure) -> GroundEvaluation:
+def evaluate_ground(
+    program: Program,
+    structure: Structure,
+    *,
+    pre_split: Optional[Program] = None,
+) -> GroundEvaluation:
     """Evaluate a monadic program over a tree structure per Theorem 4.2.
 
     The program may use any unary extensional relations the structure
     provides, and any *bidirectionally functional* binary relations
     (``firstchild``, ``nextsibling``, ``lastchild``, ``child_k``).  Raises
     :class:`GroundingNotApplicable` otherwise.
+
+    ``pre_split`` lets callers (notably
+    :class:`repro.datalog.plan.CompiledProgram`) supply the
+    connectedness-split program computed once at compile time; when omitted
+    the split is performed here.  ``structure`` may be a pre-built
+    :class:`repro.structures.IndexedStructure`; bare structures are wrapped
+    so the functional maps and relation extensions are cached.
     """
-    split = split_disconnected(program)
+    structure = as_indexed(structure)
+    split = pre_split if pre_split is not None else split_disconnected(program)
     if not grounding_applicable(split, structure):
         raise GroundingNotApplicable(
             "program is outside the Theorem 4.2 fragment for this structure"

@@ -20,7 +20,7 @@ from repro.datalog.hornsat import AtomInterner, solve_horn
 from repro.datalog.program import Program, Rule
 from repro.datalog.terms import Atom, Constant, Variable
 from repro.errors import DatalogError
-from repro.structures import Structure
+from repro.structures import Structure, as_indexed
 
 GroundAtom = Tuple[str, Tuple[int, ...]]
 
@@ -116,9 +116,13 @@ def evaluate_lit(program: Program, structure: Structure) -> Dict[str, Set[Tuple[
     """Evaluate a monadic Datalog LIT program in ``O(|P| * |sigma|)``.
 
     Raises :class:`DatalogError` when the program is not in the fragment.
+    ``structure`` may be a pre-built
+    :class:`repro.structures.IndexedStructure`; bare structures are wrapped
+    so repeated relation lookups during grounding hit a cache.
     """
     if not is_monadic_lit(program, structure):
         raise DatalogError("program is not in monadic Datalog LIT")
+    structure = as_indexed(structure)
     intensional = set(program.intensional_predicates())
 
     # Normalize all-monadic rules to single-variable rules.

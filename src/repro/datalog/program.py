@@ -10,10 +10,13 @@ from the connectedness rewriting in the proof of Theorem 4.2).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.terms import Atom, Constant, Term, Variable
 from repro.errors import DatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.datalog.plan import CompiledProgram
 
 
 class Rule:
@@ -118,7 +121,12 @@ class Program:
         #: (their extension is then empty).  Generated programs (automaton
         #: simulations) use this for states that happen to be underivable.
         self.declared: frozenset = frozenset(declared)
-        if query is not None and query not in self.intensional_predicates():
+        # Rules and declarations are immutable after construction, so the
+        # intensional-predicate set is computed once and cached.
+        self._intensional: FrozenSet[str] = frozenset(
+            rule.head.pred for rule in self.rules
+        ) | self.declared
+        if query is not None and query not in self._intensional:
             raise DatalogError(
                 f"query predicate {query!r} is not an intensional predicate "
                 "of the program"
@@ -135,8 +143,22 @@ class Program:
         return sum(rule.size() for rule in self.rules)
 
     def intensional_predicates(self) -> Set[str]:
-        """Predicates that occur in some rule head, plus declared ones."""
-        return {rule.head.pred for rule in self.rules} | set(self.declared)
+        """Predicates that occur in some rule head, plus declared ones.
+
+        Returns a fresh mutable set backed by a cached frozenset, so callers
+        may extend their copy freely.
+        """
+        return set(self._intensional)
+
+    def compile(self) -> "CompiledProgram":
+        """Compile this program once into a reusable executable plan.
+
+        Convenience alias for :func:`repro.datalog.plan.compile_program`;
+        see :class:`repro.datalog.plan.CompiledProgram`.
+        """
+        from repro.datalog.plan import compile_program
+
+        return compile_program(self)
 
     def extensional_predicates(self) -> Set[str]:
         """Body predicates that never occur in a head."""

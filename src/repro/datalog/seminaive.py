@@ -14,38 +14,15 @@ fixpoint computation literally.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.datalog.program import Program, Rule
 from repro.datalog.terms import Atom, Constant, Variable
 from repro.errors import DatalogError
-from repro.structures import Structure
+from repro.structures import IndexedStructure, Structure, as_indexed
 
 FactTuple = Tuple[int, ...]
 Relations = Dict[str, Set[FactTuple]]
-
-
-class _StructureIndex:
-    """Cached access to a structure's relations with positional indexes."""
-
-    def __init__(self, structure: Structure):
-        self.structure = structure
-        self._relations: Dict[str, FrozenSet[FactTuple]] = {}
-        self._indexes: Dict[Tuple[str, int], Dict[int, List[FactTuple]]] = {}
-
-    def relation(self, name: str) -> FrozenSet[FactTuple]:
-        if name not in self._relations:
-            self._relations[name] = self.structure.relation(name)
-        return self._relations[name]
-
-    def index(self, name: str, position: int) -> Dict[int, List[FactTuple]]:
-        key = (name, position)
-        if key not in self._indexes:
-            index: Dict[int, List[FactTuple]] = {}
-            for tup in self.relation(name):
-                index.setdefault(tup[position], []).append(tup)
-            self._indexes[key] = index
-        return self._indexes[key]
 
 
 def _candidates(
@@ -53,40 +30,36 @@ def _candidates(
     binding: Dict[Variable, int],
     intensional: Set[str],
     facts: Relations,
-    edb: _StructureIndex,
+    edb: IndexedStructure,
     override: Optional[Set[FactTuple]] = None,
 ) -> Iterator[FactTuple]:
     """Tuples of ``atom``'s relation compatible with the bound arguments."""
-    if atom.pred in intensional:
-        source: Iterator[FactTuple] = iter(override if override is not None else facts.get(atom.pred, set()))
-        # Filter by bound positions below.
-        bound: List[Tuple[int, int]] = []
-        for i, term in enumerate(atom.args):
-            if isinstance(term, Constant):
-                bound.append((i, term.value))
-            elif term in binding:
-                bound.append((i, binding[term]))
-        for tup in source:
-            if all(tup[i] == v for i, v in bound):
-                yield tup
-        return
-
-    bound = []
+    # Bound positions (constants and already-bound variables), computed once
+    # for both the intensional and the extensional case; argument order is
+    # preserved, so the values double as the membership-test tuple.
+    bound: List[Tuple[int, int]] = []
     for i, term in enumerate(atom.args):
         if isinstance(term, Constant):
             bound.append((i, term.value))
         elif term in binding:
             bound.append((i, binding[term]))
+
+    if atom.pred in intensional:
+        source = override if override is not None else facts.get(atom.pred, set())
+        for tup in source:
+            if all(tup[i] == v for i, v in bound):
+                yield tup
+        return
+
     if len(bound) == atom.arity and atom.arity > 0:
-        tup = tuple(v for _, v in sorted(bound))
+        tup = tuple(v for _, v in bound)
         if tup in edb.relation(atom.pred):
             yield tup
         return
-    if bound and atom.arity == 2:
-        position, value = bound[0]
-        for tup in edb.index(atom.pred, position)[value] if value in edb.index(atom.pred, position) else ():
-            if all(tup[i] == v for i, v in bound):
-                yield tup
+    if bound and atom.arity >= 2:
+        positions = tuple(i for i, _ in bound)
+        key = tuple(v for _, v in bound)
+        yield from edb.index(atom.pred, positions).get(key, ())
         return
     for tup in edb.relation(atom.pred):
         if all(tup[i] == v for i, v in bound):
@@ -126,7 +99,7 @@ def _evaluate_rule(
     rule: Rule,
     intensional: Set[str],
     facts: Relations,
-    edb: _StructureIndex,
+    edb: IndexedStructure,
     delta_position: Optional[int] = None,
     delta: Optional[Relations] = None,
 ) -> Set[FactTuple]:
@@ -178,10 +151,18 @@ def evaluate_seminaive(program: Program, structure: Structure) -> Relations:
 
     Returns a dict mapping each intensional predicate to its set of derived
     tuples (0-ary predicates map to ``{()}`` when derived).
+
+    This is the *interpreted* reference engine: join orders are recomputed
+    on every rule application and bindings are threaded through
+    dictionaries.  The compiled engine of :mod:`repro.datalog.plan` computes
+    the same model from a precompiled plan; the two are cross-checked in the
+    test suite and compared in ``benchmarks/``.  Pass a pre-built
+    :class:`repro.structures.IndexedStructure` to reuse document indexes
+    across calls.
     """
     intensional = program.intensional_predicates()
     _check_extensional(program, structure, intensional)
-    edb = _StructureIndex(structure)
+    edb = as_indexed(structure)
     facts: Relations = {p: set() for p in intensional}
 
     # Round 0: rules without intensional body atoms.
@@ -231,7 +212,7 @@ def naive_rounds(
     """
     intensional = program.intensional_predicates()
     _check_extensional(program, structure, intensional)
-    edb = _StructureIndex(structure)
+    edb = as_indexed(structure)
     facts: Relations = {p: set() for p in intensional}
     rounds: List[Relations] = []
     while True:

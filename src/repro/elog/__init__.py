@@ -16,7 +16,7 @@
 from repro.elog.paths import expand_contains, expand_subelem, parse_path
 from repro.elog.syntax import Condition, ElogProgram, ElogRule, PatternRef
 from repro.elog.parser import parse_elog
-from repro.elog.translate import elog_to_datalog, evaluate_elog
+from repro.elog.translate import compile_elog, elog_to_datalog, evaluate_elog
 from repro.elog.from_datalog import datalog_to_elog
 from repro.elog.delta import (
     DeltaCondition,
@@ -34,6 +34,7 @@ __all__ = [
     "Condition",
     "PatternRef",
     "parse_elog",
+    "compile_elog",
     "elog_to_datalog",
     "evaluate_elog",
     "datalog_to_elog",

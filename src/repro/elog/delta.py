@@ -187,7 +187,14 @@ def delta_to_datalog(program: ElogDeltaProgram) -> Program:
 def evaluate_elog_delta(
     program: ElogDeltaProgram, tree
 ) -> EvaluationResult:
-    """Evaluate an Elog-Delta program on a tree (root :class:`Node`)."""
+    """Evaluate an Elog-Delta program on a tree (root :class:`Node`).
+
+    Funnels through the compiled engine
+    (:mod:`repro.datalog.plan`); callers with many trees can compile
+    ``delta_to_datalog(program)`` once with
+    :func:`repro.datalog.plan.compile_program` and run the plan per
+    document, rebuilding only the per-tree ``_DeltaStructure``.
+    """
     structure = _DeltaStructure(tree)
     return evaluate(delta_to_datalog(program), structure, method="seminaive")
 

@@ -9,8 +9,11 @@ The paper evaluates (monadic) datalog over two kinds of structures:
 This module defines the minimal interface the datalog engine needs
 (:class:`Structure`) together with :class:`GenericStructure`, a plain
 dictionary-backed implementation used for the "arbitrary finite structure"
-results and in tests.  The tree-backed implementations live in
-:mod:`repro.trees.unranked` and :mod:`repro.trees.ranked`.
+results and in tests, and :class:`IndexedStructure`, the shared per-document
+evaluation runtime: a caching wrapper that builds relation extensions,
+functional maps and positional hash indexes once and serves them to every
+query evaluated on the same document.  The tree-backed implementations live
+in :mod:`repro.trees.unranked` and :mod:`repro.trees.ranked`.
 
 Conventions
 -----------
@@ -27,7 +30,7 @@ Conventions
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.errors import DatalogError
 
@@ -168,3 +171,111 @@ class GenericStructure(Structure):
 
     def relation_names(self) -> Iterable[str]:
         return self._relations.keys()
+
+
+class IndexedStructure(Structure):
+    """Caching, index-building view of another :class:`Structure`.
+
+    Every evaluation strategy keeps re-asking a structure for the same
+    relations, functional maps, and positional lookups.  An
+    ``IndexedStructure`` is built **once per document** and shared across
+    all queries on that document (the :class:`repro.wrap.extraction.Wrapper`
+    batch APIs and :class:`repro.datalog.plan.CompiledProgram` both rely on
+    this): relation extensions, bidirectional-functional maps and hash
+    indexes are each computed on first use and memoized for the lifetime of
+    the wrapper.
+
+    Attribute access not covered by the :class:`Structure` interface (for
+    example :meth:`repro.trees.unranked.UnrankedStructure.node` or
+    ``root_node``) is delegated to the underlying base structure, so an
+    ``IndexedStructure`` can be passed anywhere the base structure is
+    expected.
+
+    Examples
+    --------
+    >>> base = GenericStructure(4, {"edge": [(0, 1), (1, 2), (1, 3)]})
+    >>> s = IndexedStructure(base)
+    >>> sorted(s.index("edge", (0,))[(1,)])
+    [(1, 2), (1, 3)]
+    >>> s.index("edge", (0, 1))[(0, 1)]
+    [(0, 1)]
+    """
+
+    def __init__(self, base: Structure):
+        if isinstance(base, IndexedStructure):
+            base = base.base
+        self._base = base
+        self._relations: Dict[str, FrozenSet[Fact]] = {}
+        self._has: Dict[str, bool] = {}
+        self._functional: Dict[
+            str, Optional[Tuple[Dict[int, int], Dict[int, int]]]
+        ] = {}
+        self._indexes: Dict[
+            Tuple[str, Tuple[int, ...]], Dict[Fact, List[Fact]]
+        ] = {}
+
+    @property
+    def base(self) -> Structure:
+        """The wrapped structure."""
+        return self._base
+
+    @property
+    def size(self) -> int:
+        return self._base.size
+
+    def has_relation(self, name: str) -> bool:
+        if name not in self._has:
+            self._has[name] = self._base.has_relation(name)
+        return self._has[name]
+
+    def relation(self, name: str) -> FrozenSet[Fact]:
+        if name not in self._relations:
+            self._relations[name] = self._base.relation(name)
+        return self._relations[name]
+
+    def arity(self, name: str) -> int:
+        return self._base.arity(name)
+
+    def functional(self, name: str) -> Optional[Tuple[Dict[int, int], Dict[int, int]]]:
+        if name not in self._functional:
+            self._functional[name] = self._base.functional(name)
+        return self._functional[name]
+
+    def relation_names(self) -> Iterable[str]:
+        return self._base.relation_names()
+
+    def index(
+        self, name: str, positions: Union[int, Tuple[int, ...]]
+    ) -> Dict[Fact, List[Fact]]:
+        """Hash index of relation ``name`` on the given argument positions.
+
+        Maps the tuple of values at ``positions`` to the list of matching
+        facts.  Works for any arity; built lazily and memoized per
+        ``(name, positions)`` pair.
+        """
+        if isinstance(positions, int):
+            positions = (positions,)
+        key = (name, positions)
+        if key not in self._indexes:
+            index: Dict[Fact, List[Fact]] = {}
+            for tup in self.relation(name):
+                index.setdefault(tuple(tup[p] for p in positions), []).append(tup)
+            self._indexes[key] = index
+        return self._indexes[key]
+
+    def __getattr__(self, attr: str):
+        # Delegate extra capabilities of the base structure (node lookup,
+        # root_node, labels, ...) so the wrapper is a drop-in replacement.
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        return getattr(self._base, attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"IndexedStructure({self._base!r})"
+
+
+def as_indexed(structure: Structure) -> IndexedStructure:
+    """Wrap ``structure`` in an :class:`IndexedStructure` (idempotent)."""
+    if isinstance(structure, IndexedStructure):
+        return structure
+    return IndexedStructure(structure)

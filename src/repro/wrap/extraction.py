@@ -5,17 +5,28 @@ can host queries in any of the library's formalisms (Elog- programs,
 monadic datalog programs, MSO formulas, automaton queries), evaluates them
 all on a document tree, and assembles the wrapped output tree of
 Section 6's introduction.
+
+The wrapper is a *compile-once* artifact: every registered datalog/Elog
+program is compiled into a :class:`repro.datalog.plan.CompiledProgram` the
+first time it runs and the plan is reused for every subsequent document
+(MSO queries are already compiled to automata at registration).  Per
+document, one shared :class:`repro.structures.IndexedStructure` carries the
+relation extensions and positional indexes across *all* extraction
+functions; the batch entry points :meth:`Wrapper.extract_many` and
+:meth:`Wrapper.wrap_many` exploit both properties to wrap a stream of
+documents without redundant work.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.datalog.engine import evaluate
+from repro.datalog.plan import CompiledProgram, compile_program
 from repro.datalog.program import Program
 from repro.elog.syntax import ElogProgram
 from repro.elog.translate import elog_to_datalog
 from repro.errors import WrapError
+from repro.structures import IndexedStructure, as_indexed
 from repro.trees.node import Node
 from repro.trees.unranked import UnrankedStructure
 from repro.wrap.output import OutputNode, build_output_tree
@@ -39,10 +50,15 @@ class Wrapper:
     >>> tree = parse_sexpr("ul(li, li)")
     >>> w.wrap(tree).to_sexpr()
     'result(item, item)'
+    >>> [out.to_sexpr() for out in w.wrap_many(
+    ...     [parse_sexpr("ul(li)"), parse_sexpr("ul(li, li, li)")])]
+    ['result(item)', 'result(item, item, item)']
     """
 
     def __init__(self):
         self._functions: List[tuple] = []
+        #: Lazily compiled plans, keyed by position in ``self._functions``.
+        self._compiled: Dict[int, CompiledProgram] = {}
 
     # -- registration --------------------------------------------------------
 
@@ -84,32 +100,95 @@ class Wrapper:
         self._functions.append(("callable", name, function))
         return self
 
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self) -> "Wrapper":
+        """Eagerly compile every registered datalog/Elog program.
+
+        Normally compilation happens lazily on first use; call this to move
+        the cost out of the first document (e.g. before timing a batch).
+        """
+        for index, (kind, _, payload) in enumerate(self._functions):
+            if kind == "datalog":
+                self._compiled_plan(index, payload[0])
+        return self
+
+    def _compiled_plan(self, index: int, program: Program) -> CompiledProgram:
+        plan = self._compiled.get(index)
+        if plan is None:
+            plan = compile_program(program)
+            self._compiled[index] = plan
+        return plan
+
     # -- evaluation ----------------------------------------------------------
 
     def names(self) -> List[str]:
         """Extraction-function names in priority order."""
         return [name for _, name, _ in self._functions]
 
-    def extract(self, tree: Node) -> Dict[str, Set[int]]:
-        """Evaluate all extraction functions; node-id sets per name."""
-        structure = UnrankedStructure(tree)
+    def _extract_structure(self, structure: IndexedStructure) -> Dict[str, Set[int]]:
+        """Evaluate all extraction functions against one shared runtime."""
+        # Automaton queries and user callables keep receiving the concrete
+        # (unwrapped) structure their registered signatures promise; only
+        # the datalog engine consumes the index wrapper.
+        base = structure.base
         out: Dict[str, Set[int]] = {}
-        for kind, name, payload in self._functions:
+        for index, (kind, name, payload) in enumerate(self._functions):
             if kind == "datalog":
                 program, pred = payload
-                result = evaluate(program, structure)
-                ids = result.unary(pred)
+                ids = self._compiled_plan(index, program).run(structure).unary(pred)
             elif kind == "automaton":
-                ids = payload.select_ids(structure)
+                ids = payload.select_ids(base)
             else:
-                ids = set(payload(structure))
+                ids = set(payload(base))
             out.setdefault(name, set()).update(ids)
         return out
 
+    def extract(
+        self, tree: Node, structure: Optional[UnrankedStructure] = None
+    ) -> Dict[str, Set[int]]:
+        """Evaluate all extraction functions; node-id sets per name.
+
+        ``structure`` may supply an existing (possibly indexed) structure
+        for ``tree`` so the relational view is not rebuilt.
+        """
+        if structure is None:
+            structure = UnrankedStructure(tree)
+        return self._extract_structure(as_indexed(structure))
+
+    def extract_many(self, trees: Iterable[Node]) -> List[Dict[str, Set[int]]]:
+        """Batch :meth:`extract`: one shared indexed structure per document,
+        all extraction programs compiled exactly once across the batch."""
+        self.compile()
+        return [
+            self._extract_structure(as_indexed(UnrankedStructure(tree)))
+            for tree in trees
+        ]
+
     def wrap(self, tree: Node, root_label: str = "result") -> OutputNode:
         """Wrap a document: extract, relabel, build the output tree."""
-        structure = UnrankedStructure(tree)
-        results = self.extract(tree)
+        structure = as_indexed(UnrankedStructure(tree))
+        return self._wrap_structure(tree, structure, root_label)
+
+    def wrap_many(
+        self, trees: Sequence[Node], root_label: str = "result"
+    ) -> List[OutputNode]:
+        """Batch :meth:`wrap` over a stream of documents.
+
+        Builds exactly one :class:`repro.structures.IndexedStructure` per
+        document and reuses every compiled extraction plan across the whole
+        batch.
+        """
+        self.compile()
+        return [
+            self._wrap_structure(tree, as_indexed(UnrankedStructure(tree)), root_label)
+            for tree in trees
+        ]
+
+    def _wrap_structure(
+        self, tree: Node, structure: IndexedStructure, root_label: str
+    ) -> OutputNode:
+        results = self._extract_structure(structure)
         assignment: Dict[int, str] = {}
         for name in self.names():
             for ident in results.get(name, ()):

@@ -9,6 +9,7 @@ import pytest
 
 import repro.datalog.hornsat
 import repro.datalog.parser
+import repro.datalog.plan
 import repro.datalog.terms
 import repro.elog.parser
 import repro.elog.paths
@@ -39,6 +40,7 @@ MODULES = [
     repro.trees.generate,
     repro.datalog.terms,
     repro.datalog.parser,
+    repro.datalog.plan,
     repro.datalog.hornsat,
     repro.mso.parser,
     repro.caterpillar.syntax,

@@ -24,13 +24,7 @@ from repro.html import parse_html
 from repro.structures import as_indexed
 from repro.tmnf import to_tmnf
 from repro.trees.unranked import UnrankedStructure
-from repro.workloads import catalog_page
-
-_WRAPPER = """
-record(x) <- root(x0), subelem(x0, 'body.table.tr', x).
-price(x)  <- record(x0), subelem(x0, 'td', x), nextsibling(y, x).
-name(x)   <- record(x0), subelem(x0, 'td', x), firstsibling(x).
-"""
+from repro.workloads import CATALOG_WRAPPER as _WRAPPER, catalog_page
 
 
 def _structure(items: int) -> UnrankedStructure:

@@ -6,9 +6,12 @@ series and linear-fit diagnostics.  Usage::
     python benchmarks/report.py            # full sweep
     python benchmarks/report.py --smoke    # quick CI smoke subset
 
-Both modes additionally emit ``benchmarks/BENCH_compiled.json``, a
-machine-readable comparison of the compile-once evaluation path
-(:mod:`repro.datalog.plan`) against per-call interpreted evaluation.
+Both modes additionally emit ``benchmarks/BENCH_compiled.json`` (the
+compile-once evaluation path of :mod:`repro.datalog.plan` against per-call
+interpreted evaluation) and ``benchmarks/BENCH_kernel.json`` (the
+linear-time propagation kernel of :mod:`repro.datalog.kernel` against
+both, with a document-size doubling sweep and an empirical-linearity
+column ``time(2n)/time(n)``).
 """
 
 from __future__ import annotations
@@ -36,7 +39,7 @@ from repro.tmnf import to_tmnf
 from repro.trees.generate import complete_binary_tree, flat_tree, random_tree
 from repro.trees.ranked import RankedStructure
 from repro.trees.unranked import UnrankedStructure
-from repro.workloads import catalog_page
+from repro.workloads import CATALOG_WRAPPER, catalog_page
 from repro.workloads.programs import wide_program
 
 
@@ -129,12 +132,7 @@ def report_t52() -> None:
 
 def report_c64() -> None:
     print("== E-C6.4: Elog- evaluation linear ==")
-    wrapper = """
-    record(x) <- root(x0), subelem(x0, 'body.table.tr', x).
-    price(x)  <- record(x0), subelem(x0, 'td', x), nextsibling(y, x).
-    name(x)   <- record(x0), subelem(x0, 'td', x), firstsibling(x).
-    """
-    program = parse_elog(wrapper, query="price")
+    program = parse_elog(CATALOG_WRAPPER, query="price")
     datalog = elog_to_datalog(program)
     normalized = to_tmnf(datalog).program
     for items in (20, 80, 320):
@@ -177,12 +175,7 @@ def report_compiled(smoke: bool = False) -> None:
     once, reused), and the resulting speedup.
     """
     print("== E-COMPILED: compile-once plans vs per-call interpretation ==")
-    wrapper = """
-    record(x) <- root(x0), subelem(x0, 'body.table.tr', x).
-    price(x)  <- record(x0), subelem(x0, 'td', x), nextsibling(y, x).
-    name(x)   <- record(x0), subelem(x0, 'td', x), firstsibling(x).
-    """
-    datalog = elog_to_datalog(parse_elog(wrapper, query="price"))
+    datalog = elog_to_datalog(parse_elog(CATALOG_WRAPPER, query="price"))
     compiled = compile_program(datalog)
     rows = []
     sizes = (20, 80) if smoke else (20, 80, 320)
@@ -233,6 +226,84 @@ def report_compiled(smoke: bool = False) -> None:
     print(f"    wrote {out_path}")
 
 
+def report_kernel(smoke: bool = False) -> None:
+    """Propagation kernel vs compiled joins vs interpreted evaluation.
+
+    Emits ``benchmarks/BENCH_kernel.json``: one row per document size on
+    the elog catalog sweep with interpreted, compiled and kernel seconds,
+    the kernel-over-compiled speedup, and ``linearity`` -- the ratio
+    ``kernel_time(this row) / kernel_time(previous row)`` across a
+    doubling item sweep, which should stay near 2.0 for a linear-time
+    engine (Theorem 4.2 / Corollary 6.4).
+    """
+    print("== E-KERNEL: linear-time propagation kernel (Thm 4.2 hot path) ==")
+    datalog = elog_to_datalog(parse_elog(CATALOG_WRAPPER, query="price"))
+    compiled = compile_program(datalog)
+    rows = []
+    sizes = (20, 40, 80) if smoke else (40, 80, 160, 320, 640)
+    repeat = 3 if smoke else 7
+    previous_kernel_s = None
+    for items in sizes:
+        structure = UnrankedStructure(parse_html(catalog_page(seed=5, items=items)))
+        interpreted_s, interpreted_out = _timed(
+            evaluate_seminaive, datalog, structure, repeat=repeat
+        )
+        indexed = as_indexed(structure)
+        compiled.run(indexed, method="seminaive")  # warm document indexes
+        compiled_s, compiled_out = _timed(
+            compiled.run, indexed, "seminaive", repeat=repeat
+        )
+        compiled.run(indexed, method="kernel")  # warm the columnar snapshot
+        kernel_s, kernel_out = _timed(compiled.run, indexed, "kernel", repeat=repeat)
+        if not (
+            kernel_out.relations == compiled_out.relations == interpreted_out
+        ):
+            raise SystemExit(
+                f"kernel/compiled/interpreted disagree on items={items}; "
+                "refusing to report timings"
+            )
+        speedup = compiled_s / kernel_s if kernel_s else float("inf")
+        linearity = (
+            round(kernel_s / previous_kernel_s, 2)
+            if previous_kernel_s
+            else None
+        )
+        previous_kernel_s = kernel_s
+        rows.append(
+            {
+                "items": items,
+                "dom": structure.size,
+                "interpreted_s": interpreted_s,
+                "compiled_s": compiled_s,
+                "kernel_s": kernel_s,
+                "speedup_vs_compiled": round(speedup, 2),
+                "linearity": linearity,
+            }
+        )
+        print(
+            f"    items={items:>4} dom={structure.size:>6}  "
+            f"interpreted t={interpreted_s * 1e3:8.2f} ms   "
+            f"compiled t={compiled_s * 1e3:8.2f} ms   "
+            f"kernel t={kernel_s * 1e3:8.2f} ms   "
+            f"speedup={speedup:5.2f}x   "
+            f"t(2n)/t(n)={linearity if linearity is not None else '  --'}"
+        )
+    payload = {
+        "experiment": "kernel_vs_compiled_vs_interpreted",
+        "workload": "elog catalog wrapper (E-C6.4 sweep, doubling items)",
+        "engine": {
+            "interpreted": "repro.datalog.seminaive.evaluate_seminaive",
+            "compiled": "repro.datalog.plan.CompiledProgram.run(seminaive)",
+            "kernel": "repro.datalog.kernel (CompiledProgram.run(kernel))",
+        },
+        "smoke": smoke,
+        "rows": rows,
+    }
+    out_path = pathlib.Path(__file__).resolve().parent / "BENCH_kernel.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"    wrote {out_path}")
+
+
 def report_t66() -> None:
     print("== E-T6.6: a^n b^n ==")
     program = anbn_program()
@@ -247,6 +318,7 @@ if __name__ == "__main__":
     smoke = "--smoke" in sys.argv[1:]
     if smoke:
         report_compiled(smoke=True)
+        report_kernel(smoke=True)
     else:
         report_t42()
         report_p35()
@@ -257,3 +329,4 @@ if __name__ == "__main__":
         report_msoblowup()
         report_t66()
         report_compiled()
+        report_kernel()

@@ -8,8 +8,13 @@ The package provides:
   (``head(x) :- body1(x), body2(x, y).``);
 * :mod:`repro.datalog.hornsat` -- the linear-time propositional Horn
   satisfiability core (Proposition 3.5, Dowling-Gallier);
+* :mod:`repro.datalog.kernel` -- the linear-time propagation kernel:
+  monadic programs lowered to numeric rule tables evaluated over columnar
+  document snapshots with per-node predicate bitmasks (Theorem 4.2 as the
+  hot path, auto-selected for tree workloads);
 * :mod:`repro.datalog.grounding` -- Theorem 4.2's linear-time grounding of
-  connected monadic programs over tree structures;
+  connected monadic programs over tree structures (the kernel's
+  cross-check oracle);
 * :mod:`repro.datalog.seminaive` -- a general bottom-up engine (semi-naive
   and naive-with-trace evaluation);
 * :mod:`repro.datalog.guarded` -- the guarded and Datalog LIT fragments

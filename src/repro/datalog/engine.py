@@ -10,9 +10,14 @@ one-shot API by compiling and running in a single call.
 
 ``run``/``evaluate`` pick the best applicable strategy:
 
+* ``"kernel"`` -- the linear-time propagation kernel
+  (:mod:`repro.datalog.kernel`): monadic programs over tree-backed
+  structures evaluated against the columnar document snapshot with
+  per-node predicate bitmasks, Theorem 4.2 as the hot path;
 * ``"ground"`` -- Theorem 4.2's linear-time grounding + Horn-SAT, when the
   program is monadic and every binary body relation is bidirectionally
-  functional in the structure (Proposition 4.1);
+  functional in the structure (Proposition 4.1); kept as the cross-check
+  oracle for the kernel;
 * ``"lit"`` -- Proposition 3.7's Datalog LIT evaluation;
 * ``"seminaive"`` -- the compiled bottom-up engine (always applicable; the
   interpreted reference lives in
@@ -73,8 +78,8 @@ def evaluate(
         :class:`repro.structures.IndexedStructure` is used as-is, sharing
         its indexes with other queries on the same document.
     method:
-        ``"auto"`` (default), ``"ground"``, ``"lit"``, ``"seminaive"`` or
-        ``"naive"``.
+        ``"auto"`` (default), ``"kernel"``, ``"ground"``, ``"lit"``,
+        ``"seminaive"`` or ``"naive"``.
 
     Returns
     -------

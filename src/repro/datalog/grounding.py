@@ -45,6 +45,11 @@ def grounding_applicable(program: Program, structure: Structure) -> bool:
     """Whether :func:`evaluate_ground` can evaluate this program."""
     if not program.is_monadic():
         return False
+    # ``functional`` is an O(|relation|) scan on raw structures; wrap with
+    # the caching runtime so a program mentioning ``nextsibling`` in twenty
+    # bodies pays for one scan (repeat lookups hit the per-name memo of
+    # :class:`repro.structures.IndexedStructure`).
+    structure = as_indexed(structure)
     intensional = program.intensional_predicates()
     for rule in program.rules:
         for atom in rule.body:

@@ -1,0 +1,749 @@
+"""Linear-time propagation kernel: Theorem 4.2 as the hot path.
+
+The paper's headline complexity result says monadic datalog over trees is
+evaluable in time ``O(|P| * |dom|)`` (Theorem 4.2, Corollary 6.4).
+:mod:`repro.datalog.grounding` *verifies* that bound by materializing the
+ground program; this module *exploits* it: a monadic program is compiled
+once into numeric rule tables and then evaluated over the columnar
+:class:`repro.trees.snapshot.TreeSnapshot` of a document with **zero tuple
+allocation on the hot loop**.
+
+Compilation (:func:`compile_kernel`, program-only, cached by
+:class:`repro.datalog.plan.CompiledProgram`):
+
+* the Theorem 4.2 connectedness rewriting
+  (:func:`repro.datalog.analysis.split_disconnected`) makes every rule
+  connected, so each rule instantiation is determined by a single seed
+  node propagated along the rule's query graph (Proposition 4.1: the tree
+  relations are partial bijections; ``child`` is backward-functional with
+  forward traversal by child enumeration);
+* every rule body is lowered to a flat numeric op sequence -- functional
+  *steps* (one array lookup), bounded *branch* steps (``child`` forward),
+  byte-mask checks for unary schema relations, and per-node predicate
+  *bitmask* tests for intensional atoms -- rooted at the cheapest anchor
+  (fewest branch steps first, then the most selective unary relation);
+* programs whose best lowering is still *superlinear* in some rule --
+  two chained branch steps, or a branch reached through the many-to-one
+  ``parent`` map, so one node's children may be enumerated once per entry
+  point -- are re-lowered through the TMNF normalization of Theorem 5.2
+  (:func:`repro.tmnf.pipeline.to_tmnf`), whose output uses only
+  bidirectionally functional relations.
+
+Evaluation (:meth:`KernelProgram.run`) is a worklist fixpoint in the style
+of the Dowling-Gallier Horn-SAT solver (:mod:`repro.datalog.hornsat`),
+generalized from propositional atoms to ``(predicate-bit, node-index)``
+pairs *without materializing ground rules*: derived facts live in one
+integer bitmask per node, the worklist holds plain ``node * P + pred``
+integers, and when a fact fires, each body occurrence of its predicate
+re-checks the O(1) remaining atoms of that rule through array lookups
+(bodies are constant-width after lowering, so re-checking preserves the
+``O(|P| * |dom|)`` bound that the explicit Dowling-Gallier counters give;
+it just never builds the counter table or any ground rule).
+
+:func:`repro.datalog.engine.evaluate` auto-selects this kernel for monadic
+programs over tree-backed structures; :mod:`repro.datalog.grounding` stays
+as the cross-check oracle (the test suite asserts kernel == ground ==
+seminaive == compiled-plan on randomized programs and trees).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.datalog.analysis import split_disconnected
+from repro.datalog.program import Program, Rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import DatalogError
+from repro.structures import Structure
+
+Relations = Dict[str, Set[Tuple[int, ...]]]
+
+#: Binary relation names the kernel can traverse.  ``child`` resolves only
+#: over ``tau_ur`` (backward-functional, forward by enumeration) and
+#: ``child<k>`` only over ``tau_rk``; the snapshot gates this at bind time.
+_BINARY_NAME = re.compile(r"^(firstchild|nextsibling|lastchild|child\d*)$")
+
+# Runtime opcodes (resolved from the symbolic compile-time ops at bind time).
+_STEP = 0  # vals[t] = arr[vals[f]]; fail if -1
+_BRANCH = 1  # enumerate children of vals[f] into vals[t]
+_BCHECK = 2  # arr[vals[f]] == vals[t]
+_UBIT = 3  # unary schema byte mask test on vals[f]
+_IBIT = 4  # per-node predicate bitmask test
+_GBIT = 5  # propositional (0-ary) predicate bit test
+
+
+def _anchor_cost(name: Optional[str]) -> int:
+    """Selectivity rank of a unary anchor relation (lower enumerates less)."""
+    if name is None:
+        return 5
+    if name == "root":
+        return 0
+    if name.startswith("label_"):
+        return 1
+    if name in ("leaf", "lastsibling", "firstsibling"):
+        return 2
+    if name.startswith("notlabel_"):
+        return 3
+    return 4  # dom or other broad masks
+
+
+class _Block:
+    """One compiled op program: a rule viewed from one entry point.
+
+    ``anchor`` is ``None`` for fact-triggered blocks (entered with the
+    fired node in ``start``), or a unary relation name / ``"*"`` (full
+    domain) for enumerated blocks (seed rules and 0-ary-triggered rules).
+    """
+
+    __slots__ = (
+        "anchor",
+        "start",
+        "nslots",
+        "ops",
+        "head_pred",
+        "head_slot",
+        "branches",
+        "superlinear",
+    )
+
+    def __init__(self, anchor, start, nslots, ops, head_pred, head_slot):
+        self.anchor = anchor
+        self.start = start
+        self.nslots = nslots
+        self.ops = tuple(ops)
+        self.head_pred = head_pred
+        self.head_slot = head_slot
+        self.branches = sum(1 for op in ops if op[0] == "branch")
+        # A single branch step is linear overall only when every entry node
+        # reaches a *distinct* branch source, so the enumerated fan-outs sum
+        # to at most |dom|.  Functional steps over the partial bijections
+        # preserve that injectivity; a ``child``-backward step (``parent``,
+        # many-to-one) or a second branch does not -- such a block can
+        # enumerate the same node's children once per entry and degrade to
+        # quadratic time (e.g. sweeping the leaves of a star tree and
+        # branching over their shared parent's children).
+        non_injective_step = any(
+            op[0] == "step" and op[1] == "child" for op in ops
+        )
+        self.superlinear = self.branches >= 2 or (
+            self.branches >= 1 and non_injective_step
+        )
+
+
+class KernelProgram:
+    """A monadic program lowered to numeric propagation tables.
+
+    Build with :func:`compile_kernel` (returns ``None`` when the program is
+    outside the kernel fragment); evaluate with :meth:`run`.  The artifact
+    is program-only and reusable across documents.
+
+    Examples
+    --------
+    >>> from repro.datalog.parser import parse_program
+    >>> from repro.trees import parse_sexpr
+    >>> from repro.trees.unranked import UnrankedStructure
+    >>> program = parse_program(
+    ...     "p(x) :- label_a(x).\\np(y) :- p(x), firstchild(x, y).", query="p")
+    >>> kernel = compile_kernel(program)
+    >>> sorted(kernel.run(UnrankedStructure(parse_sexpr("a(b, c)")))["p"])
+    [(0,), (1,)]
+    """
+
+    def __init__(
+        self,
+        source: Program,
+        lowered: Program,
+        pred_index: Dict[str, int],
+        sweeps: List[_Block],
+        triggers: List[List[_Block]],
+        outputs: List[Tuple[str, int, int]],
+        route: str,
+    ):
+        self.source = source
+        self.lowered = lowered
+        self.pred_index = pred_index
+        self.npreds = len(pred_index)
+        self.sweeps = sweeps
+        self.triggers = triggers
+        self.outputs = outputs
+        #: ``"direct"`` (Theorem 4.2 lowering) or ``"tmnf"`` (Theorem 5.2
+        #: normalization first).
+        self.route = route
+        blocks = sweeps + [b for group in triggers for b in group]
+        self.max_branches = max((b.branches for b in blocks), default=0)
+        self.superlinear = any(b.superlinear for b in blocks)
+
+    def applicable(self, structure: Structure) -> bool:
+        """Whether this kernel can evaluate over ``structure``."""
+        return self._bind(structure) is not None
+
+    # -- binding -----------------------------------------------------------
+
+    def _bind_ops(self, block: _Block, snapshot):
+        ops = []
+        for op in block.ops:
+            kind = op[0]
+            if kind == "step":
+                _, rel, forward, f, t = op
+                arr = (
+                    snapshot.forward_map(rel)
+                    if forward
+                    else snapshot.backward_map(rel)
+                )
+                if arr is None:
+                    return None
+                ops.append((_STEP, arr, f, t))
+            elif kind == "branch":
+                _, rel, f, t = op
+                if not snapshot.branches_forward(rel):
+                    return None
+                ops.append((_BRANCH, None, f, t))
+            elif kind == "bcheck":
+                _, rel, a, b = op
+                arr = snapshot.forward_map(rel)
+                if arr is not None:
+                    ops.append((_BCHECK, arr, a, b))
+                else:
+                    arr = snapshot.backward_map(rel)
+                    if arr is None:
+                        return None
+                    ops.append((_BCHECK, arr, b, a))
+            elif kind == "ubit":
+                _, name, f = op
+                mask = snapshot.unary_mask(name)
+                if mask is None:
+                    return None
+                ops.append((_UBIT, mask, f, 0))
+            elif kind == "ibit":
+                _, pred, f = op
+                ops.append((_IBIT, pred, f, 0))
+            else:  # gbit
+                _, pred = op
+                ops.append((_GBIT, pred, 0, 0))
+        return tuple(ops)
+
+    def _bind(self, structure: Structure):
+        """Resolve symbolic ops against a document; ``None`` if impossible."""
+        build = getattr(structure, "snapshot", None)
+        if build is None:
+            return None
+        snapshot = build()
+        if snapshot is None:
+            return None
+
+        def anchor_nodes(block: _Block):
+            if block.anchor == "*":
+                return range(snapshot.size) if block.nslots else (0,)
+            nodes = snapshot.unary_nodes(block.anchor)
+            return nodes if nodes is not None else None
+
+        bound_sweeps = []
+        for block in self.sweeps:
+            ops = self._bind_ops(block, snapshot)
+            anchor = anchor_nodes(block)
+            if ops is None or anchor is None:
+                return None
+            vals = [0] * max(block.nslots, 1)
+            bound_sweeps.append(
+                (anchor, block.start, ops, block.head_pred, block.head_slot, vals)
+            )
+        bound_triggers: List[List[tuple]] = []
+        for group in self.triggers:
+            rows = []
+            for block in group:
+                ops = self._bind_ops(block, snapshot)
+                if ops is None:
+                    return None
+                anchor = None
+                if block.anchor is not None:
+                    anchor = anchor_nodes(block)
+                    if anchor is None:
+                        return None
+                vals = [0] * max(block.nslots, 1)
+                rows.append(
+                    (anchor, block.start, ops, block.head_pred, block.head_slot, vals)
+                )
+            bound_triggers.append(rows)
+        return snapshot, bound_sweeps, bound_triggers
+
+    # -- evaluation --------------------------------------------------------
+
+    def run(self, structure: Structure) -> Relations:
+        """Evaluate over a tree-backed structure; raises if inapplicable."""
+        bound = self._bind(structure)
+        if bound is None:
+            raise DatalogError(
+                "kernel strategy does not apply: structure is not tree-backed "
+                "or lacks a relation the program needs"
+            )
+        return self._run_bound(bound)
+
+    def try_run(self, structure: Structure) -> Optional[Relations]:
+        """Evaluate if applicable, else ``None`` (single bind, no raise)."""
+        bound = self._bind(structure)
+        if bound is None:
+            return None
+        return self._run_bound(bound)
+
+    def _run_bound(self, bound) -> Relations:
+        snapshot, sweeps, triggers = bound
+        P = self.npreds
+        relations: Relations = {
+            name: set() for name, _, _ in self.outputs
+        }
+        if P == 0:
+            return relations
+
+        firstchild = snapshot.firstchild
+        nextsibling = snapshot.nextsibling
+        masks = [0] * snapshot.size
+        gmask_cell = [0]
+        stack: List[int] = []
+        # Node lists per output predicate id (helpers collect nothing).
+        out_by_pred: List[Optional[List[int]]] = [None] * P
+        out_lists: List[Tuple[str, List[int]]] = []
+        for name, pred, arity in self.outputs:
+            if pred >= 0 and arity == 1:
+                out_by_pred[pred] = collected = []
+                out_lists.append((name, collected))
+        # Facts of predicates with no body occurrences need no propagation.
+        needs_push = [bool(group) for group in triggers]
+
+        def execute(ops, i, vals, head_pred, head_slot, nops):
+            while i < nops:
+                k, obj, f, t = ops[i]
+                if k == _STEP:
+                    w = obj[vals[f]]
+                    if w < 0:
+                        return
+                    vals[t] = w
+                elif k == _UBIT:
+                    if not obj[vals[f]]:
+                        return
+                elif k == _IBIT:
+                    if not (masks[vals[f]] >> obj) & 1:
+                        return
+                elif k == _BCHECK:
+                    if obj[vals[f]] != vals[t]:
+                        return
+                elif k == _GBIT:
+                    if not (gmask_cell[0] >> obj) & 1:
+                        return
+                else:  # _BRANCH
+                    child = firstchild[vals[f]]
+                    i += 1
+                    while child >= 0:
+                        vals[t] = child
+                        execute(ops, i, vals, head_pred, head_slot, nops)
+                        child = nextsibling[child]
+                    return
+                i += 1
+            # All body conditions hold: derive the head fact (once).
+            if head_slot >= 0:
+                v = vals[head_slot]
+                m = masks[v]
+                bit = 1 << head_pred
+                if not m & bit:
+                    masks[v] = m | bit
+                    if needs_push[head_pred]:
+                        stack.append(v * P + head_pred)
+                    collected = out_by_pred[head_pred]
+                    if collected is not None:
+                        collected.append(v)
+            else:
+                bit = 1 << head_pred
+                if not gmask_cell[0] & bit:
+                    gmask_cell[0] |= bit
+                    if needs_push[head_pred]:
+                        stack.append(-head_pred - 1)
+
+        for anchor, start, ops, head_pred, head_slot, vals in sweeps:
+            nops = len(ops)
+            for v in anchor:
+                vals[start] = v
+                execute(ops, 0, vals, head_pred, head_slot, nops)
+
+        while stack:
+            token = stack.pop()
+            if token >= 0:
+                v, pred = divmod(token, P)
+                for anchor, start, ops, head_pred, head_slot, vals in triggers[pred]:
+                    vals[start] = v
+                    execute(ops, 0, vals, head_pred, head_slot, len(ops))
+            else:
+                for anchor, start, ops, head_pred, head_slot, vals in triggers[
+                    -token - 1
+                ]:
+                    nops = len(ops)
+                    for v in anchor:
+                        vals[start] = v
+                        execute(ops, 0, vals, head_pred, head_slot, nops)
+
+        for name, collected in out_lists:
+            relations[name] = {(v,) for v in collected}
+        gmask = gmask_cell[0]
+        for name, pred, arity in self.outputs:
+            if pred >= 0 and arity == 0 and (gmask >> pred) & 1:
+                relations[name] = {()}
+        return relations
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"KernelProgram({len(self.lowered.rules)} rules via {self.route!r}, "
+            f"{self.npreds} predicate bits, max_branches={self.max_branches})"
+        )
+
+
+# -- compilation -----------------------------------------------------------
+
+
+def _spanning(
+    nslots: int,
+    edges: List[Tuple[int, int, str, int]],
+    start: int,
+) -> Optional[Tuple[List[Tuple[str, tuple]], Set[int]]]:
+    """Minimum-branch traversal order binding all slots from ``start``.
+
+    Edges come from binary body atoms ``R(a, b)``; each is traversable
+    ``b -> a`` by the backward functional map (cost 0) and ``a -> b`` by
+    the forward map (cost 0) or, for ``child``, by enumeration (cost 1).
+    Returns ``(moves, tree_atom_indexes)`` where each move is
+    ``("step"| "branch", (rel, forward, from, to))`` in bind order, via a
+    0-1 BFS; ``None`` when some slot is unreachable (a disconnected rule,
+    which :func:`split_disconnected` should have prevented).
+    """
+    if nslots == 0:
+        return [], set()
+    adjacency: List[List[Tuple[int, int, str, bool, int]]] = [
+        [] for _ in range(nslots)
+    ]
+    for index, (a, b, rel, atom_idx) in enumerate(edges):
+        if a == b:
+            continue
+        forward_cost = 1 if rel == "child" else 0
+        adjacency[a].append((forward_cost, b, rel, True, atom_idx))
+        adjacency[b].append((0, a, rel, False, atom_idx))
+    INF = float("inf")
+    dist = [INF] * nslots
+    via: List[Optional[Tuple[int, str, bool, int, int]]] = [None] * nslots
+    dist[start] = 0
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        for cost, v, rel, forward, atom_idx in adjacency[u]:
+            nd = dist[u] + cost
+            if nd < dist[v]:
+                dist[v] = nd
+                via[v] = (u, rel, forward, atom_idx, cost)
+                if cost:
+                    queue.append(v)
+                else:
+                    queue.appendleft(v)
+    if any(d is INF for d in dist):
+        return None
+    moves: List[Tuple[str, tuple]] = []
+    tree_atoms: Set[int] = set()
+    # Emit moves in an order where each move's source slot is already
+    # bound: repeated passes over the predecessor tree (nslots is tiny).
+    bound = {start}
+    pending = set(range(nslots)) - bound
+    while pending:
+        progressed = False
+        for v in sorted(pending):
+            u, rel, forward, atom_idx, cost = via[v]
+            if u in bound:
+                kind = "branch" if cost else "step"
+                payload = (rel, forward, u, v) if kind == "step" else (rel, u, v)
+                moves.append((kind, payload))
+                tree_atoms.add(atom_idx)
+                bound.add(v)
+                pending.discard(v)
+                progressed = True
+                break
+        if not progressed:
+            return None
+    return moves, tree_atoms
+
+
+class _RuleShape:
+    """Symbolic per-rule tables shared by every entry point of the rule."""
+
+    __slots__ = (
+        "rule",
+        "slot_of",
+        "nslots",
+        "edges",
+        "unary_ext",
+        "unary_int",
+        "gbits",
+        "head_pred",
+        "head_slot",
+    )
+
+
+def _shape(rule: Rule, pred_index: Dict[str, int], intensional: Set[str]):
+    """Extract the numeric shape of one rule; ``None`` if unsupported."""
+    shape = _RuleShape()
+    shape.rule = rule
+    slot_of: Dict[Variable, int] = {}
+    for variable in sorted(rule.variables(), key=lambda v: v.name):
+        slot_of[variable] = len(slot_of)
+    shape.slot_of = slot_of
+    shape.nslots = len(slot_of)
+    shape.edges = []
+    shape.unary_ext = []
+    shape.unary_int = []
+    shape.gbits = []
+    for atom_idx, atom in enumerate(rule.body):
+        if any(isinstance(t, Constant) for t in atom.args):
+            return None
+        if atom.arity == 0:
+            if atom.pred not in intensional:
+                return None
+            shape.gbits.append((pred_index[atom.pred], atom_idx))
+        elif atom.arity == 1:
+            slot = slot_of[atom.args[0]]
+            if atom.pred in intensional:
+                shape.unary_int.append((pred_index[atom.pred], slot, atom_idx))
+            else:
+                shape.unary_ext.append((atom.pred, slot, atom_idx))
+        elif atom.arity == 2:
+            if atom.pred in intensional or not _BINARY_NAME.match(atom.pred):
+                return None
+            a, b = (slot_of[t] for t in atom.args)
+            shape.edges.append((a, b, atom.pred, atom_idx))
+        else:
+            return None
+    head = rule.head
+    if head.arity > 1 or any(isinstance(t, Constant) for t in head.args):
+        return None
+    shape.head_pred = pred_index[head.pred]
+    shape.head_slot = slot_of[head.args[0]] if head.arity == 1 else -1
+    return shape
+
+
+def _assemble(
+    shape: _RuleShape, start: int, skip_atom: int
+) -> Optional[List[tuple]]:
+    """Full op list for one entry point, checks as early as possible."""
+    result = _spanning(shape.nslots, shape.edges, start)
+    if result is None:
+        return None
+    moves, tree_atoms = result
+    ops: List[tuple] = []
+    for pred, atom_idx in shape.gbits:
+        if atom_idx != skip_atom:
+            ops.append(("gbit", pred))
+
+    checks_by_slot: Dict[int, List[tuple]] = {}
+    for name, slot, atom_idx in shape.unary_ext:
+        if atom_idx != skip_atom:
+            checks_by_slot.setdefault(slot, []).append(("ubit", name, slot))
+    for pred, slot, atom_idx in shape.unary_int:
+        if atom_idx != skip_atom:
+            checks_by_slot.setdefault(slot, []).append(("ibit", pred, slot))
+
+    remaining_binary = [
+        (a, b, rel, atom_idx)
+        for a, b, rel, atom_idx in shape.edges
+        if atom_idx not in tree_atoms
+    ]
+    bound: Set[int] = {start}
+
+    def flush(slot: int) -> None:
+        ops.extend(checks_by_slot.pop(slot, ()))
+        for entry in list(remaining_binary):
+            a, b, rel, _ = entry
+            if a in bound and b in bound:
+                ops.append(("bcheck", rel, a, b))
+                remaining_binary.remove(entry)
+
+    if shape.nslots:
+        flush(start)
+    for kind, payload in moves:
+        ops.append((kind, *payload))
+        target = payload[-1]
+        bound.add(target)
+        flush(target)
+    assert not remaining_binary and not checks_by_slot
+    return ops
+
+
+def _pick_anchor(shape: _RuleShape, skip_atom: int) -> Optional[_Block]:
+    """Best enumerated entry point: fewest branches, then selectivity."""
+    candidates: List[Tuple[Optional[str], int]] = [
+        (name, slot) for name, slot, atom_idx in shape.unary_ext
+    ]
+    if shape.nslots:
+        fallback_slot = shape.head_slot if shape.head_slot >= 0 else 0
+        candidates.append((None, fallback_slot))
+    else:
+        candidates.append((None, 0))
+    best: Optional[Tuple[tuple, Optional[str], int, List[tuple]]] = None
+    for name, slot in candidates:
+        # Consuming the anchor atom itself: its check is implied by the
+        # enumeration, but only one syntactic atom may be consumed.
+        consumed = skip_atom
+        ops = _assemble(shape, slot, consumed)
+        if ops is None:
+            continue
+        if name is not None:
+            # Drop exactly one check of this (name, slot) pair: the
+            # enumeration already guarantees it.
+            for i, op in enumerate(ops):
+                if op[0] == "ubit" and op[1] == name and op[2] == slot:
+                    del ops[i]
+                    break
+        branches = sum(1 for op in ops if op[0] == "branch")
+        superlinear = branches >= 2 or (
+            branches >= 1
+            and any(op[0] == "step" and op[1] == "child" for op in ops)
+        )
+        key = (superlinear, branches, _anchor_cost(name), len(ops))
+        if best is None or key < best[0]:
+            best = (key, name, slot, ops)
+    if best is None:
+        return None
+    _, name, slot, ops = best
+    return _Block(
+        name if name is not None else "*",
+        slot,
+        shape.nslots,
+        ops,
+        shape.head_pred,
+        shape.head_slot,
+    )
+
+
+def _pred_arities(program: Program) -> Optional[Dict[str, int]]:
+    """Arity of each intensional predicate; ``None`` on inconsistent use."""
+    arities: Dict[str, int] = {}
+    intensional = program.intensional_predicates()
+
+    def record(pred: str, arity: int) -> bool:
+        if arities.setdefault(pred, arity) != arity:
+            return False
+        return True
+
+    for rule in program.rules:
+        if not record(rule.head.pred, rule.head.arity):
+            return None
+        for atom in rule.body:
+            if atom.pred in intensional and not record(atom.pred, atom.arity):
+                return None
+    return arities
+
+
+def _lower(source: Program, lowered: Program, route: str) -> Optional[KernelProgram]:
+    """Lower a connected monadic program into kernel tables."""
+    arities = _pred_arities(lowered)
+    if arities is None:
+        return None
+    intensional = lowered.intensional_predicates()
+    pred_index = {name: i for i, name in enumerate(sorted(intensional))}
+    sweeps: List[_Block] = []
+    triggers: List[List[_Block]] = [[] for _ in pred_index]
+    for rule in lowered.rules:
+        shape = _shape(rule, pred_index, intensional)
+        if shape is None:
+            return None
+        occurrences = [
+            ("unary", pred, slot, atom_idx)
+            for pred, slot, atom_idx in shape.unary_int
+        ] + [("global", pred, -1, atom_idx) for pred, atom_idx in shape.gbits]
+        if not occurrences:
+            block = _pick_anchor(shape, skip_atom=-1)
+            if block is None:
+                return None
+            sweeps.append(block)
+            continue
+        for kind, pred, slot, atom_idx in occurrences:
+            if kind == "unary":
+                ops = _assemble(shape, slot, atom_idx)
+                if ops is None:
+                    return None
+                block = _Block(
+                    None, slot, shape.nslots, ops, shape.head_pred, shape.head_slot
+                )
+            else:
+                block = _pick_anchor(shape, skip_atom=atom_idx)
+                if block is None:
+                    return None
+            triggers[pred].append(block)
+
+    source_arities = _pred_arities(source)
+    if source_arities is None:
+        return None
+    outputs = []
+    for name in sorted(source.intensional_predicates()):
+        outputs.append(
+            (name, pred_index.get(name, -1), source_arities.get(name, 1))
+        )
+    return KernelProgram(source, lowered, pred_index, sweeps, triggers, outputs, route)
+
+
+def compile_kernel(program: Program) -> Optional[KernelProgram]:
+    """Compile ``program`` for the propagation kernel, or ``None``.
+
+    Tries the direct Theorem 4.2 lowering first (connectedness split +
+    functional propagation).  When some rule's best direct lowering is
+    *superlinear* -- it chains two branching ``child`` traversals, or
+    reaches a branch through the many-to-one ``parent`` map, either of
+    which can exceed the linear bound -- the program is re-lowered through
+    the Theorem 5.2 TMNF normalization, whose rules only use
+    bidirectionally functional relations.  Returns ``None`` for programs
+    outside both fragments (non-monadic programs, constants, unsupported
+    binary relations); callers then fall back to another strategy.
+    """
+    if not program.is_monadic():
+        return None
+    try:
+        split = split_disconnected(program)
+    except DatalogError:
+        return None
+    direct = _lower(program, split, "direct")
+    if direct is not None and not direct.superlinear:
+        return direct
+    normalized = _try_tmnf_lowering(program)
+    if normalized is not None:
+        return normalized
+    return direct
+
+
+def _try_tmnf_lowering(program: Program) -> Optional[KernelProgram]:
+    from repro.errors import TMNFError
+
+    try:
+        from repro.tmnf.pipeline import to_tmnf
+
+        normalized = to_tmnf(program).program
+        lowered = _lower(program, split_disconnected(normalized), "tmnf")
+    except (TMNFError, DatalogError):
+        return None
+    if lowered is not None and lowered.max_branches == 0:
+        return lowered
+    return None
+
+
+def kernel_applicable(program: Program, structure: Structure) -> bool:
+    """Whether the kernel strategy fully applies to program + structure."""
+    kernel = compile_kernel(program)
+    return kernel is not None and kernel.applicable(structure)
+
+
+def evaluate_kernel(program: Program, structure: Structure) -> Relations:
+    """One-shot kernel evaluation (compile + run); raises if inapplicable.
+
+    Callers evaluating one program over many documents should compile via
+    :func:`repro.datalog.plan.compile_program` and reuse the plan, which
+    caches the kernel tables alongside the join plans.
+    """
+    kernel = compile_kernel(program)
+    if kernel is None:
+        raise DatalogError(
+            "kernel strategy does not apply: program is outside the monadic "
+            "tree fragment (Theorem 4.2 / Theorem 5.2 lowerings both failed)"
+        )
+    return kernel.run(structure)

@@ -55,7 +55,7 @@ class EvaluationResult:
     relations:
         Mapping from intensional predicate to its derived tuple set.
     method:
-        The strategy actually used (``"ground"``, ``"lit"``,
+        The strategy actually used (``"kernel"``, ``"ground"``, ``"lit"``,
         ``"seminaive"``, or ``"naive"``).
     query:
         The program's query predicate, if any.
@@ -405,6 +405,10 @@ class CompiledProgram:
         self._strata_cache: Optional[List[Tuple[List[_RulePlan], frozenset]]] = None
         self._monadic = program.is_monadic()
         self._split_cache: Optional[Program] = None
+        # Lazily compiled propagation-kernel tables (None until first use;
+        # the tuple wrapper distinguishes "not yet tried" from "kernel does
+        # not apply to this program").
+        self._kernel_cache: Optional[tuple] = None
 
     @property
     def _strata(self) -> List[Tuple[List[_RulePlan], frozenset]]:
@@ -442,6 +446,19 @@ class CompiledProgram:
             self._split_cache = split_disconnected(self.program)
         return self._split_cache
 
+    @property
+    def _kernel(self):
+        # Propagation-kernel lowering (Theorem 4.2 hot path): program-only,
+        # compiled on first use and reused by every subsequent run.
+        if self._kernel_cache is None:
+            if self._monadic:
+                from repro.datalog.kernel import compile_kernel
+
+                self._kernel_cache = (compile_kernel(self.program),)
+            else:
+                self._kernel_cache = (None,)
+        return self._kernel_cache[0]
+
     # -- introspection -------------------------------------------------------
 
     @property
@@ -460,6 +477,11 @@ class CompiledProgram:
         if self._split is None:
             return False
         return grounding_applicable(self._split, structure)
+
+    def kernel_applicable(self, structure: Structure) -> bool:
+        """Whether the propagation kernel applies on this structure."""
+        kernel = self._kernel
+        return kernel is not None and kernel.applicable(structure)
 
     # -- evaluation ----------------------------------------------------------
 
@@ -519,8 +541,24 @@ class CompiledProgram:
         """
         edb = as_indexed(structure)
         if method == "auto":
+            # Fastest applicable strategy first: the linear-time propagation
+            # kernel for monadic programs over tree documents, then the
+            # Theorem 4.2 grounding, then the general compiled join plans.
+            kernel = self._kernel
+            if kernel is not None:
+                relations = kernel.try_run(edb)
+                if relations is not None:
+                    return EvaluationResult(relations, "kernel", self.program.query)
             method = "ground" if self.grounding_applicable(edb) else "seminaive"
 
+        if method == "kernel":
+            kernel = self._kernel
+            if kernel is None:
+                raise DatalogError(
+                    "kernel strategy does not apply: program is outside the "
+                    "monadic tree fragment"
+                )
+            return EvaluationResult(kernel.run(edb), "kernel", self.program.query)
         if method == "ground":
             from repro.datalog.grounding import evaluate_ground
 

@@ -62,16 +62,21 @@ def elog_to_datalog(program: ElogProgram) -> Program:
 
 
 def compile_elog(
-    program: ElogProgram, method: str = "seminaive"
+    program: ElogProgram, method: str = "auto"
 ) -> Tuple[CompiledProgram, str]:
     """Compile an Elog- wrapper once into an executable datalog plan.
 
     Returns ``(compiled, run_method)``: the plan plus the datalog engine
-    method to evaluate it with.  ``method="tmnf"`` bakes in Corollary 6.4's
-    linear-time chain (Theorem 5.2 normalization at compile time, the
-    Theorem 4.2 grounding engine at run time); ``"seminaive"`` / ``"naive"``
-    compile the ``tau_ur u {child}`` translation for the general engine.
-    The plan is reusable across documents::
+    method to evaluate it with.  ``method="auto"`` (default) lets the
+    engine pick the fastest applicable strategy -- for Elog- translations
+    over tree documents that is the linear-time propagation kernel
+    (:mod:`repro.datalog.kernel`), realizing Corollary 6.4 directly.
+    ``method="kernel"`` demands the kernel (raising if it cannot apply);
+    ``method="tmnf"`` bakes in the paper's original chain (Theorem 5.2
+    normalization at compile time, the Theorem 4.2 grounding engine at run
+    time); ``"seminaive"`` / ``"naive"`` compile the ``tau_ur u {child}``
+    translation for the general engine.  The plan is reusable across
+    documents::
 
         compiled, run_method = compile_elog(program)
         for tree in documents:
@@ -82,7 +87,7 @@ def compile_elog(
         from repro.tmnf.pipeline import to_tmnf
 
         return compile_program(to_tmnf(datalog).program), "ground"
-    if method not in ("seminaive", "naive"):
+    if method not in ("auto", "kernel", "seminaive", "naive"):
         raise ElogError(f"unknown Elog evaluation method {method!r}")
     return compile_program(datalog), method
 
@@ -90,13 +95,16 @@ def compile_elog(
 def evaluate_elog(
     program: ElogProgram,
     structure: Structure,
-    method: str = "seminaive",
+    method: str = "auto",
 ) -> EvaluationResult:
     """Evaluate an Elog- wrapper over a tree structure (compile + run).
 
-    ``method="seminaive"`` evaluates the ``tau_ur u {child}`` translation
-    directly.  ``method="tmnf"`` demonstrates Corollary 6.4's linear-time
-    bound: normalize through Theorem 5.2 and evaluate with the Theorem 4.2
+    ``method="auto"`` (default) routes tree workloads through the
+    linear-time propagation kernel, falling back to the general engine
+    otherwise.  ``method="seminaive"`` evaluates the ``tau_ur u {child}``
+    translation with the compiled join plans.  ``method="tmnf"``
+    demonstrates Corollary 6.4's bound through the paper's original chain:
+    normalize through Theorem 5.2 and evaluate with the Theorem 4.2
     grounding engine.  Callers with many documents should use
     :func:`compile_elog` once and run the plan per document.
     """

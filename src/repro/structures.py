@@ -100,6 +100,12 @@ class GenericStructure(Structure):
     relations:
         Mapping from relation name to an iterable of facts.  Unary facts may
         be given as bare integers; they are normalized to 1-tuples.
+    arities:
+        Optional mapping from relation name to its declared arity.  Without
+        it, an *empty* relation silently reports arity 1, which can mask
+        arity mismatches; declaring arities makes empty relations report
+        their true arity and turns a declared-vs-stored mismatch into an
+        error at construction time.
 
     Examples
     --------
@@ -108,14 +114,29 @@ class GenericStructure(Structure):
     [(0, 1), (1, 2)]
     >>> s.arity("start")
     1
+    >>> GenericStructure(3, {"edge": []}, arities={"edge": 2}).arity("edge")
+    2
     """
 
-    def __init__(self, size: int, relations: Dict[str, Iterable]):
+    def __init__(
+        self,
+        size: int,
+        relations: Dict[str, Iterable],
+        arities: Optional[Dict[str, int]] = None,
+    ):
         if size < 0:
             raise DatalogError("structure size must be non-negative")
         self._size = size
         self._relations: Dict[str, FrozenSet[Fact]] = {}
         self._arities: Dict[str, int] = {}
+        for name, declared_arity in (arities or {}).items():
+            if name not in relations:
+                raise DatalogError(
+                    f"declared arity for unknown relation {name!r}"
+                )
+            if declared_arity < 0:
+                raise DatalogError(f"negative arity for relation {name!r}")
+            self._arities[name] = declared_arity
         for name, tuples in relations.items():
             normalized: Set[Fact] = set()
             for item in tuples:
@@ -131,10 +152,16 @@ class GenericStructure(Structure):
                         )
                 normalized.add(fact)
             if normalized:
-                arities = {len(f) for f in normalized}
-                if len(arities) != 1:
+                stored = {len(f) for f in normalized}
+                if len(stored) != 1:
                     raise DatalogError(f"relation {name!r} has mixed arities")
-                self._arities[name] = arities.pop()
+                arity = stored.pop()
+                declared = self._arities.setdefault(name, arity)
+                if declared != arity:
+                    raise DatalogError(
+                        f"relation {name!r} declared with arity {declared} "
+                        f"but stores {arity}-tuples"
+                    )
             self._relations[name] = frozenset(normalized)
 
     @property
@@ -151,7 +178,8 @@ class GenericStructure(Structure):
 
     def arity(self, name: str) -> int:
         if name not in self._arities:
-            # An empty relation has no stored arity; default to 1.
+            # An empty relation with no declared arity defaults to 1 (pass
+            # ``arities=`` at construction to make the true arity known).
             if name in self._relations:
                 return 1
             raise DatalogError(f"unknown relation {name!r}")
@@ -213,6 +241,9 @@ class IndexedStructure(Structure):
         self._indexes: Dict[
             Tuple[str, Tuple[int, ...]], Dict[Fact, List[Fact]]
         ] = {}
+        self._facts: Optional[Set[Tuple[str, Fact]]] = None
+        self._total_size: Optional[int] = None
+        self._snapshot_cache: Optional[tuple] = None
 
     @property
     def base(self) -> Structure:
@@ -243,6 +274,29 @@ class IndexedStructure(Structure):
 
     def relation_names(self) -> Iterable[str]:
         return self._base.relation_names()
+
+    def facts(self) -> Set[Tuple[str, Fact]]:
+        """All facts of the structure, computed once and cached."""
+        if self._facts is None:
+            self._facts = self._base.facts()
+        return self._facts
+
+    def total_size(self) -> int:
+        """``|sigma|``, computed once and cached (benchmarks sweep this)."""
+        if self._total_size is None:
+            self._total_size = self._base.total_size()
+        return self._total_size
+
+    def snapshot(self):
+        """The base structure's columnar tree snapshot, cached here.
+
+        Returns ``None`` when the base structure has no snapshot (it is not
+        tree-backed), which the kernel treats as "not applicable".
+        """
+        if self._snapshot_cache is None:
+            build = getattr(self._base, "snapshot", None)
+            self._snapshot_cache = (build() if build is not None else None,)
+        return self._snapshot_cache[0]
 
     def index(
         self, name: str, positions: Union[int, Tuple[int, ...]]

@@ -12,12 +12,15 @@ This package implements Section 2 of the paper:
   (``root, leaf, child_k, label_a``);
 * :mod:`repro.trees.binary` -- the firstchild/nextsibling binary encoding of
   Figure 1;
+* :mod:`repro.trees.snapshot` -- columnar tree snapshots (flat integer
+  columns + interned labels) feeding the linear-time propagation kernel;
 * :mod:`repro.trees.traversal` -- traversals and document order;
 * :mod:`repro.trees.generate` -- deterministic random tree generators for
   tests and benchmarks.
 """
 
 from repro.trees.node import Node, parse_sexpr, to_sexpr
+from repro.trees.snapshot import TreeSnapshot
 from repro.trees.unranked import UnrankedStructure
 from repro.trees.ranked import RankedAlphabet, RankedStructure, validate_ranked
 from repro.trees.binary import BinNode, decode_binary, encode_binary
@@ -40,6 +43,7 @@ __all__ = [
     "Node",
     "parse_sexpr",
     "to_sexpr",
+    "TreeSnapshot",
     "UnrankedStructure",
     "RankedAlphabet",
     "RankedStructure",

@@ -15,6 +15,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from repro.errors import DatalogError, TreeError
 from repro.structures import Fact, Structure
 from repro.trees.node import Node
+from repro.trees.snapshot import TreeSnapshot
 
 
 class RankedAlphabet:
@@ -113,10 +114,24 @@ class RankedStructure(Structure):
         self._ids: Dict[int, int] = {id(n): i for i, n in enumerate(self._nodes)}
         self._cache: Dict[str, FrozenSet[Fact]] = {}
         self._functional_cache: Dict[str, Tuple[Dict[int, int], Dict[int, int]]] = {}
+        self._snapshot: Optional[TreeSnapshot] = None
 
     @property
     def size(self) -> int:
         return len(self._nodes)
+
+    def snapshot(self) -> TreeSnapshot:
+        """Columnar snapshot of the tree (built once, then cached).
+
+        Feeds the linear-time propagation kernel
+        (:mod:`repro.datalog.kernel`); the ``tau_rk`` schema gates
+        resolution to ``child1 .. childK`` plus the unary relations.
+        """
+        if self._snapshot is None:
+            self._snapshot = TreeSnapshot(
+                self._nodes, self._ids, "ranked", self._alphabet.max_rank
+            )
+        return self._snapshot
 
     @property
     def alphabet(self) -> RankedAlphabet:

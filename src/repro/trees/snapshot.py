@@ -1,0 +1,277 @@
+"""Columnar tree snapshots: the document as flat integer arrays.
+
+The linear-time propagation kernel (:mod:`repro.datalog.kernel`) never
+touches :class:`~repro.trees.node.Node` objects or tuple sets on its hot
+path.  Instead, each tree structure exposes a :class:`TreeSnapshot` -- a
+set of parallel integer columns built once per document in a single
+document-order pass:
+
+* ``parent[i]`` / ``firstchild[i]`` / ``nextsibling[i]`` /
+  ``prevsibling[i]`` / ``lastchild[i]`` -- the tree edges as partial
+  functions (``-1`` where undefined), realizing Proposition 4.1's
+  observation that every binary relation of a tree schema is a partial
+  bijection (or, for ``child``, backward-functional);
+* ``label_ids[i]`` -- interned label identifiers (``labels`` /
+  ``label_index`` translate back and forth);
+* byte masks for the unary schema relations (``root``, ``leaf``,
+  ``lastsibling``, ``firstsibling``, ``label_a``, ...), plus the node
+  lists behind them for selective enumeration.
+
+Everything derived (masks, node lists, per-direction functional maps) is
+memoized on the snapshot, so it is shared by every program evaluated on
+the same document.  The ``schema`` field (``"unranked"`` or ``"ranked"``)
+gates name resolution to exactly the relations the owning structure
+would itself supply: asking for a relation outside the schema returns
+``None``, which the kernel treats as "not applicable, fall back".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trees.node import Node
+
+
+class TreeSnapshot:
+    """Flat columnar view of one document tree.
+
+    Built by :meth:`repro.trees.unranked.UnrankedStructure.snapshot` /
+    :meth:`repro.trees.ranked.RankedStructure.snapshot` (and cached there
+    and on :class:`repro.structures.IndexedStructure`); not usually
+    constructed by hand.
+
+    Examples
+    --------
+    >>> from repro.trees import parse_sexpr
+    >>> from repro.trees.unranked import UnrankedStructure
+    >>> snap = UnrankedStructure(parse_sexpr("a(b, c(d), b)")).snapshot()
+    >>> snap.parent
+    [-1, 0, 0, 2, 0]
+    >>> snap.firstchild
+    [1, -1, 3, -1, -1]
+    >>> snap.nextsibling
+    [-1, 2, 4, -1, -1]
+    >>> snap.labels[snap.label_ids[3]]
+    'd'
+    """
+
+    __slots__ = (
+        "size",
+        "schema",
+        "max_rank",
+        "parent",
+        "firstchild",
+        "nextsibling",
+        "prevsibling",
+        "lastchild",
+        "label_ids",
+        "labels",
+        "label_index",
+        "_unary_masks",
+        "_unary_nodes",
+        "_forward",
+        "_backward",
+        "_child_index",
+    )
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        ids: Dict[int, int],
+        schema: str,
+        max_rank: int = 0,
+    ):
+        n = len(nodes)
+        self.size = n
+        self.schema = schema
+        self.max_rank = max_rank
+        parent = [-1] * n
+        firstchild = [-1] * n
+        nextsibling = [-1] * n
+        prevsibling = [-1] * n
+        lastchild = [-1] * n
+        label_ids = [0] * n
+        labels: List[str] = []
+        label_index: Dict[str, int] = {}
+        for i, node in enumerate(nodes):
+            lid = label_index.get(node.label)
+            if lid is None:
+                lid = label_index[node.label] = len(labels)
+                labels.append(node.label)
+            label_ids[i] = lid
+            children = node.children
+            if children:
+                previous = -1
+                for child in children:
+                    ci = ids[id(child)]
+                    parent[ci] = i
+                    if previous < 0:
+                        firstchild[i] = ci
+                    else:
+                        nextsibling[previous] = ci
+                        prevsibling[ci] = previous
+                    previous = ci
+                lastchild[i] = previous
+        self.parent = parent
+        self.firstchild = firstchild
+        self.nextsibling = nextsibling
+        self.prevsibling = prevsibling
+        self.lastchild = lastchild
+        self.label_ids = label_ids
+        self.labels = labels
+        self.label_index = label_index
+        self._unary_masks: Dict[str, Optional[bytearray]] = {}
+        self._unary_nodes: Dict[str, Optional[List[int]]] = {}
+        self._forward: Dict[str, Optional[List[int]]] = {}
+        self._backward: Dict[str, Optional[List[int]]] = {}
+        self._child_index: Optional[List[int]] = None
+
+    # -- unary relations ---------------------------------------------------
+
+    def _compute_unary_mask(self, name: str) -> Optional[bytearray]:
+        n = self.size
+        if name == "dom":
+            return bytearray(b"\x01" * n)
+        if name == "root":
+            mask = bytearray(n)
+            if n:
+                mask[0] = 1
+            return mask
+        if name == "leaf":
+            firstchild = self.firstchild
+            return bytearray(1 if firstchild[i] < 0 else 0 for i in range(n))
+        if self.schema == "unranked" and name == "lastsibling":
+            parent, nextsibling = self.parent, self.nextsibling
+            return bytearray(
+                1 if parent[i] >= 0 and nextsibling[i] < 0 else 0 for i in range(n)
+            )
+        if self.schema == "unranked" and name == "firstsibling":
+            parent, prevsibling = self.parent, self.prevsibling
+            return bytearray(
+                1 if parent[i] >= 0 and prevsibling[i] < 0 else 0 for i in range(n)
+            )
+        if name.startswith("label_"):
+            lid = self.label_index.get(name[len("label_") :])
+            if lid is None:
+                return bytearray(n)
+            label_ids = self.label_ids
+            return bytearray(1 if label_ids[i] == lid else 0 for i in range(n))
+        if name.startswith("notlabel_"):
+            lid = self.label_index.get(name[len("notlabel_") :])
+            if lid is None:
+                return bytearray(b"\x01" * n)
+            label_ids = self.label_ids
+            return bytearray(0 if label_ids[i] == lid else 1 for i in range(n))
+        return None
+
+    def unary_mask(self, name: str) -> Optional[bytearray]:
+        """Byte mask of unary relation ``name``; ``None`` if unsupported."""
+        if name not in self._unary_masks:
+            self._unary_masks[name] = self._compute_unary_mask(name)
+        return self._unary_masks[name]
+
+    def unary_nodes(self, name: str) -> Optional[List[int]]:
+        """Node ids satisfying unary relation ``name`` (anchor lists)."""
+        if name not in self._unary_nodes:
+            mask = self.unary_mask(name)
+            self._unary_nodes[name] = (
+                None if mask is None else [i for i in range(self.size) if mask[i]]
+            )
+        return self._unary_nodes[name]
+
+    # -- binary relations --------------------------------------------------
+
+    def _child_k(self, name: str) -> Optional[int]:
+        suffix = name[len("child") :]
+        if not suffix.isdigit():
+            return None
+        k = int(suffix)
+        if not 1 <= k <= self.max_rank:
+            return None
+        return k
+
+    def _child_indexes(self) -> List[int]:
+        """Position of each node among its siblings (0 for first/root)."""
+        if self._child_index is None:
+            out = [0] * self.size
+            nextsibling = self.nextsibling
+            firstchild = self.firstchild
+            for i in range(self.size):
+                child = firstchild[i]
+                index = 0
+                while child >= 0:
+                    out[child] = index
+                    index += 1
+                    child = nextsibling[child]
+            self._child_index = out
+        return self._child_index
+
+    def forward_map(self, name: str) -> Optional[List[int]]:
+        """Array ``a`` with ``R(v, a[v])`` when ``R`` is forward-functional.
+
+        Returns ``None`` for unknown relations and for ``child`` (whose
+        forward direction branches; use :attr:`firstchild` /
+        :attr:`nextsibling` to enumerate children instead).
+        """
+        if name not in self._forward:
+            self._forward[name] = self._compute_forward(name)
+        return self._forward[name]
+
+    def _compute_forward(self, name: str) -> Optional[List[int]]:
+        if self.schema == "unranked":
+            if name == "firstchild":
+                return self.firstchild
+            if name == "nextsibling":
+                return self.nextsibling
+            if name == "lastchild":
+                return self.lastchild
+            return None
+        k = self._child_k(name)
+        if k is None:
+            return None
+        nextsibling = self.nextsibling
+        out = list(self.firstchild)
+        for _ in range(k - 1):
+            out = [nextsibling[v] if v >= 0 else -1 for v in out]
+        return out
+
+    def backward_map(self, name: str) -> Optional[List[int]]:
+        """Array ``a`` with ``R(a[v], v)`` when ``R`` is backward-functional."""
+        if name not in self._backward:
+            self._backward[name] = self._compute_backward(name)
+        return self._backward[name]
+
+    def _compute_backward(self, name: str) -> Optional[List[int]]:
+        n = self.size
+        parent = self.parent
+        if self.schema == "unranked":
+            if name == "firstchild":
+                prevsibling = self.prevsibling
+                return [
+                    parent[v] if prevsibling[v] < 0 else -1 for v in range(n)
+                ]
+            if name == "nextsibling":
+                return self.prevsibling
+            if name == "lastchild":
+                nextsibling = self.nextsibling
+                return [
+                    parent[v] if nextsibling[v] < 0 else -1 for v in range(n)
+                ]
+            if name == "child":
+                return parent
+            return None
+        k = self._child_k(name)
+        if k is None:
+            return None
+        child_index = self._child_indexes()
+        return [
+            parent[v] if parent[v] >= 0 and child_index[v] == k - 1 else -1
+            for v in range(n)
+        ]
+
+    def branches_forward(self, name: str) -> bool:
+        """Whether ``name`` is traversable forward by child enumeration."""
+        return self.schema == "unranked" and name == "child"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TreeSnapshot({self.schema!r}, {self.size} nodes)"

@@ -37,6 +37,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from repro.errors import DatalogError, TreeError
 from repro.structures import Fact, Structure
 from repro.trees.node import Node
+from repro.trees.snapshot import TreeSnapshot
 
 #: Relations that are binary and bidirectionally functional (Prop 4.1).
 _FUNCTIONAL_BINARY = ("firstchild", "nextsibling", "lastchild")
@@ -74,6 +75,7 @@ class UnrankedStructure(Structure):
         self._ids: Dict[int, int] = {id(n): i for i, n in enumerate(self._nodes)}
         self._cache: Dict[str, FrozenSet[Fact]] = {}
         self._functional_cache: Dict[str, Tuple[Dict[int, int], Dict[int, int]]] = {}
+        self._snapshot: Optional[TreeSnapshot] = None
 
     # -- identity ----------------------------------------------------------
 
@@ -108,6 +110,17 @@ class UnrankedStructure(Structure):
     def labels(self) -> Set[str]:
         """The set of labels occurring in the tree."""
         return {n.label for n in self._nodes}
+
+    def snapshot(self) -> TreeSnapshot:
+        """Columnar snapshot of the tree (built once, then cached).
+
+        Feeds the linear-time propagation kernel
+        (:mod:`repro.datalog.kernel`); see
+        :class:`repro.trees.snapshot.TreeSnapshot`.
+        """
+        if self._snapshot is None:
+            self._snapshot = TreeSnapshot(self._nodes, self._ids, "unranked")
+        return self._snapshot
 
     # -- relations ---------------------------------------------------------
 

@@ -10,10 +10,16 @@ on deterministic synthetic documents that exercise the same code paths
   combined-complexity benchmarks (program-size sweeps).
 """
 
-from repro.workloads.docs import catalog_page, news_page, noisy_table_page
+from repro.workloads.docs import (
+    CATALOG_WRAPPER,
+    catalog_page,
+    news_page,
+    noisy_table_page,
+)
 from repro.workloads.programs import chain_program, even_a_family, wide_program
 
 __all__ = [
+    "CATALOG_WRAPPER",
     "catalog_page",
     "news_page",
     "noisy_table_page",

@@ -20,6 +20,16 @@ _NOUNS = [
 ]
 _COMMENTERS = ["ada", "grace", "alan", "edsger", "barbara", "donald"]
 
+#: The reference Elog- wrapper for :func:`catalog_page` (records + fields,
+#: the classic Lixto shape).  Every benchmark that compares evaluation
+#: engines on the catalog workload parses this one text, so the engines
+#: are guaranteed to be timed on the same program.
+CATALOG_WRAPPER = """
+record(x) <- root(x0), subelem(x0, 'body.table.tr', x).
+price(x)  <- record(x0), subelem(x0, 'td', x), nextsibling(y, x).
+name(x)   <- record(x0), subelem(x0, 'td', x), firstsibling(x).
+"""
+
 
 def catalog_page(seed: int, items: int, with_discounts: bool = True) -> str:
     """A product-catalog page: a table of product rows.

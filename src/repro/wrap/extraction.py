@@ -11,10 +11,13 @@ program is compiled into a :class:`repro.datalog.plan.CompiledProgram` the
 first time it runs and the plan is reused for every subsequent document
 (MSO queries are already compiled to automata at registration).  Per
 document, one shared :class:`repro.structures.IndexedStructure` carries the
-relation extensions and positional indexes across *all* extraction
-functions; the batch entry points :meth:`Wrapper.extract_many` and
-:meth:`Wrapper.wrap_many` exploit both properties to wrap a stream of
-documents without redundant work.
+relation extensions, positional indexes and the columnar tree snapshot
+across *all* extraction functions; the batch entry points
+:meth:`Wrapper.extract_many` and :meth:`Wrapper.wrap_many` exploit both
+properties to wrap a stream of documents without redundant work.  Datalog
+and Elog- extraction functions run with automatic strategy selection, so
+monadic tree workloads -- the common case for wrappers -- go through the
+linear-time propagation kernel (:mod:`repro.datalog.kernel`).
 """
 
 from __future__ import annotations

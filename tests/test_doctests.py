@@ -8,6 +8,7 @@ import doctest
 import pytest
 
 import repro.datalog.hornsat
+import repro.datalog.kernel
 import repro.datalog.parser
 import repro.datalog.plan
 import repro.datalog.terms
@@ -26,6 +27,7 @@ import repro.trees.binary
 import repro.trees.generate
 import repro.trees.node
 import repro.trees.ranked
+import repro.trees.snapshot
 import repro.trees.unranked
 import repro.wrap.extraction
 import repro.wrap.serialize
@@ -35,12 +37,14 @@ MODULES = [
     repro.structures,
     repro.trees.node,
     repro.trees.binary,
+    repro.trees.snapshot,
     repro.trees.unranked,
     repro.trees.ranked,
     repro.trees.generate,
     repro.datalog.terms,
     repro.datalog.parser,
     repro.datalog.plan,
+    repro.datalog.kernel,
     repro.datalog.hornsat,
     repro.mso.parser,
     repro.caterpillar.syntax,

@@ -42,10 +42,13 @@ class TestEvenAAcrossEngines:
             got = evaluate(program, structure, method=method).query_result()
             assert got == expected, f"{method} differs on {tree}"
 
-    def test_auto_picks_ground(self):
+    def test_auto_picks_kernel_over_ground(self):
         program = even_a_program(labels=("a",))
         structure = UnrankedStructure(chain_tree(5))
-        assert evaluate(program, structure).method == "ground"
+        auto = evaluate(program, structure)
+        assert auto.method == "kernel"
+        ground = evaluate(program, structure, method="ground")
+        assert auto.query_result() == ground.query_result()
 
 
 class TestGrounding:
@@ -56,8 +59,21 @@ class TestGrounding:
         with pytest.raises(GroundingNotApplicable):
             evaluate_ground(program, structure)
 
-    def test_auto_falls_back_to_seminaive(self):
+    def test_auto_handles_child_via_kernel(self):
+        # ``child`` defeats the grounding strategy (not bidirectionally
+        # functional) but the propagation kernel traverses it natively.
         program = parse_program("p(x) :- child(x, y), label_a(y).", query="p")
+        structure = UnrankedStructure(random_tree(2, 8))
+        result = evaluate(program, structure)
+        assert result.method == "kernel"
+        explicit = evaluate(program, structure, method="seminaive")
+        assert result.query_result() == explicit.query_result()
+
+    def test_auto_falls_back_to_seminaive(self):
+        # ``child_star`` is outside every specialized fragment.
+        program = parse_program(
+            "p(x) :- child_star(x, y), label_a(y).", query="p"
+        )
         structure = UnrankedStructure(random_tree(2, 8))
         result = evaluate(program, structure)
         assert result.method == "seminaive"

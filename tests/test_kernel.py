@@ -1,0 +1,395 @@
+"""The linear-time propagation kernel and its columnar tree snapshots.
+
+Covers :mod:`repro.datalog.kernel` (cross-checked against the semi-naive,
+naive, grounding and compiled-plan engines on randomized programs and
+trees), :mod:`repro.trees.snapshot`, the kernel routing of
+``evaluate(method="auto")``, batch wrapping through the kernel, and the
+caching/arity satellites on :mod:`repro.structures`.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog.engine import compile_program, evaluate
+from repro.datalog.kernel import compile_kernel, evaluate_kernel, kernel_applicable
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+from repro.datalog.seminaive import evaluate_seminaive
+from repro.errors import DatalogError
+from repro.structures import GenericStructure, IndexedStructure, as_indexed
+from repro.trees import parse_sexpr
+from repro.trees.generate import random_binary_tree, random_tree
+from repro.trees.ranked import RankedStructure
+from repro.trees.unranked import UnrankedStructure
+
+from tests.helpers_shared import random_structures
+
+
+class TestTreeSnapshot:
+    def test_columns_match_relations(self):
+        structure = UnrankedStructure(parse_sexpr("a(b(c, d), e)"))
+        snap = structure.snapshot()
+        assert snap.size == structure.size
+        assert snap.parent == [-1, 0, 1, 1, 0]
+        assert snap.firstchild == [1, 2, -1, -1, -1]
+        assert snap.nextsibling == [-1, 4, 3, -1, -1]
+        assert snap.prevsibling == [-1, -1, -1, 2, 1]
+        assert snap.lastchild == [4, 3, -1, -1, -1]
+        for name in ("firstchild", "nextsibling", "lastchild"):
+            forward = snap.forward_map(name)
+            expected = dict(structure.relation(name))
+            assert {
+                i: v for i, v in enumerate(forward) if v >= 0
+            } == expected, name
+
+    def test_unary_masks_match_relations(self):
+        structure = UnrankedStructure(parse_sexpr("a(b(a), a, c)"))
+        snap = structure.snapshot()
+        for name in (
+            "dom", "root", "leaf", "lastsibling", "firstsibling",
+            "label_a", "label_b", "label_zzz", "notlabel_a",
+        ):
+            mask = snap.unary_mask(name)
+            expected = {v for (v,) in structure.relation(name)}
+            assert {i for i in range(snap.size) if mask[i]} == expected, name
+            assert set(snap.unary_nodes(name)) == expected, name
+
+    def test_child_backward_is_parent(self):
+        structure = UnrankedStructure(parse_sexpr("a(b(c), d)"))
+        snap = structure.snapshot()
+        assert snap.backward_map("child") == snap.parent
+        assert snap.forward_map("child") is None
+        assert snap.branches_forward("child")
+
+    def test_snapshot_cached_on_structure_and_index(self):
+        structure = UnrankedStructure(parse_sexpr("a(b)"))
+        assert structure.snapshot() is structure.snapshot()
+        indexed = as_indexed(structure)
+        assert indexed.snapshot() is structure.snapshot()
+        assert indexed.snapshot() is indexed.snapshot()
+
+    def test_generic_structures_have_no_snapshot(self):
+        indexed = as_indexed(GenericStructure(2, {"u": [0]}))
+        assert indexed.snapshot() is None
+
+    def test_ranked_schema_gating(self):
+        tree = parse_sexpr("f(c, f(c, c))")
+        snap = RankedStructure(tree, max_rank=2).snapshot()
+        assert snap.schema == "ranked"
+        forward = snap.forward_map("child2")
+        assert {i: v for i, v in enumerate(forward) if v >= 0} == {0: 2, 2: 4}
+        backward = snap.backward_map("child1")
+        assert {i: v for i, v in enumerate(backward) if v >= 0} == {1: 0, 3: 2}
+        # Out-of-schema names resolve to nothing.
+        assert snap.forward_map("child3") is None
+        assert snap.backward_map("child") is None
+        assert snap.unary_mask("lastsibling") is None
+        assert not snap.branches_forward("child")
+
+
+def _random_kernel_program(rng):
+    """A random monadic program over the tree signature with recursion,
+    ``child`` traversals, intersections and disconnected rules."""
+    shapes = [
+        "p{i}(x) :- {s}(x), label_b(x).",
+        "p{i}(y) :- {s}(x), firstchild(x, y).",
+        "p{i}(y) :- {s}(x), nextsibling(x, y).",
+        "p{i}(x) :- {s}(y), nextsibling(x, y).",
+        "p{i}(x) :- {s}(x), {o}(x).",
+        "p{i}(x) :- leaf(x), {s}(y).",
+        "p{i}(x) :- child(x, y), {s}(y).",
+        "p{i}(y) :- {s}(x), child(x, y).",
+        "p{i}(x) :- lastchild(x, y), {s}(y), label_a(x).",
+        "p{i}(x) :- child(x, y), child(x, z), nextsibling(y, z), {s}(z).",
+        "p{i}(x) :- firstsibling(x), {s}(x).",
+        "p{i}(x) :- notlabel_b(x), {s}(x).",
+    ]
+    rules = ["p0(x) :- label_a(x)."]
+    preds = ["p0"]
+    for i in range(1, rng.randint(2, 8)):
+        shape = rng.choice(shapes)
+        rules.append(
+            shape.format(i=i, s=rng.choice(preds), o=rng.choice(preds))
+        )
+        preds.append(f"p{i}")
+    rules.append(f"p0(y) :- {preds[-1]}(x), firstchild(x, y).")
+    return parse_program("\n".join(rules), query=preds[-1])
+
+
+class TestKernelEquivalence:
+    """Randomized property tests: kernel == seminaive == ground ==
+    compiled-plan on random trees x random monadic programs."""
+
+    def test_unranked_programs_all_strategies_agree(self):
+        rng = random.Random(20260729)
+        kernel_hits = 0
+        for _ in range(40):
+            program = _random_kernel_program(rng)
+            tree = random_tree(rng, rng.randint(1, 16), labels=("a", "b"))
+            structure = as_indexed(UnrankedStructure(tree))
+            compiled = compile_program(program)
+            reference = evaluate_seminaive(program, structure)
+            auto = compiled.run(structure)
+            if auto.method == "kernel":
+                kernel_hits += 1
+            assert auto.relations == reference, f"auto on {tree}\n{program}"
+            assert (
+                compiled.run(structure, method="seminaive").relations == reference
+            )
+            if compiled.grounding_applicable(structure):
+                ground = compiled.run(structure, method="ground").relations
+                for pred, tuples in reference.items():
+                    assert ground.get(pred, set()) == tuples
+        # The generator stays inside the kernel fragment.
+        assert kernel_hits == 40
+
+    def test_tmnf_shaped_programs_agree(self):
+        # Rules already in the three TMNF shapes of Definition 5.1.
+        program = parse_program(
+            """
+            p0(x) :- label_a(x).
+            p1(x) :- p0(x0), firstchild(x0, x).
+            p2(x) :- p1(x0), nextsibling(x0, x).
+            p2(x) :- p1(x).
+            p3(x) :- p2(x), p0(x).
+            p0(x) :- p3(x0), firstchild(x, x0).
+            """,
+            query="p3",
+        )
+        kernel = compile_kernel(program)
+        assert kernel is not None and kernel.route == "direct"
+        for _, structure in random_structures(seed=97, count=10):
+            reference = evaluate_seminaive(program, structure)
+            assert kernel.run(structure) == reference
+
+    def test_ranked_programs_agree(self):
+        rng = random.Random(55)
+        program = parse_program(
+            """
+            q(x) :- label_f(x).
+            q(y) :- q(x), child1(x, y).
+            r(x) :- q(x), child2(x, y), leaf(y).
+            r(x) :- r(y), child1(x, y), root(x).
+            """,
+            query="r",
+        )
+        for _ in range(15):
+            structure = RankedStructure(
+                random_binary_tree(rng, rng.randint(1, 14)), max_rank=2
+            )
+            reference = evaluate_seminaive(program, structure)
+            auto = evaluate(program, structure)
+            assert auto.method == "kernel"
+            assert auto.relations == reference
+
+    def test_branchy_rules_take_tmnf_route_and_agree(self):
+        rng = random.Random(7)
+        program = parse_program(
+            """
+            q(x) :- label_b(x).
+            p(x) :- q(x), child(x, y), child(y, z), label_a(z).
+            """,
+            query="p",
+        )
+        kernel = compile_kernel(program)
+        assert kernel is not None and kernel.route == "tmnf"
+        assert kernel.max_branches == 0
+        for _ in range(25):
+            tree = random_tree(rng, rng.randint(1, 14), labels=("a", "b"))
+            structure = UnrankedStructure(tree)
+            assert kernel.run(structure) == evaluate_seminaive(program, structure)
+
+    def test_sibling_branch_through_parent_takes_tmnf_route(self):
+        # Regression: a branch reached through the many-to-one ``parent``
+        # map enumerates a shared parent's children once per anchored
+        # sibling -- quadratic on star trees.  Such lowerings must be
+        # rejected as superlinear and re-lowered through TMNF.
+        rng = random.Random(13)
+        program = parse_program(
+            "p(x) :- child(x, y), child(x, z), label_a(y), label_b(z).",
+            query="p",
+        )
+        kernel = compile_kernel(program)
+        assert kernel is not None
+        assert kernel.route == "tmnf"
+        assert not kernel.superlinear
+        for _ in range(25):
+            tree = random_tree(rng, rng.randint(1, 14), labels=("a", "b"))
+            structure = UnrankedStructure(tree)
+            assert kernel.run(structure) == evaluate_seminaive(program, structure)
+
+    def test_zero_ary_heads_and_declared_predicates(self):
+        base = parse_program(
+            """
+            seen :- label_b(x).
+            p(x) :- seen, leaf(x).
+            q(x) :- p(x), label_a(y).
+            """,
+            query="q",
+        )
+        program = Program(base.rules, query="q", declared=("ghost",))
+        for _, structure in random_structures(seed=3, count=10):
+            reference = evaluate_seminaive(program, structure)
+            auto = evaluate(program, structure)
+            assert auto.method == "kernel"
+            assert auto.relations == reference
+            assert auto.relations["ghost"] == set()
+
+
+class TestKernelRoutingAndFallback:
+    def test_applicability_checks(self):
+        program = parse_program("p(x) :- label_a(x).", query="p")
+        tree_structure = UnrankedStructure(parse_sexpr("a(b)"))
+        generic = GenericStructure(2, {"label_a": [0]})
+        assert kernel_applicable(program, tree_structure)
+        assert not kernel_applicable(program, generic)
+        non_monadic = parse_program("t(x, y) :- firstchild(x, y).")
+        assert compile_kernel(non_monadic) is None
+        assert not kernel_applicable(non_monadic, tree_structure)
+
+    def test_auto_falls_back_cleanly_same_results(self):
+        # Same program, tree vs generic structure: auto picks the kernel on
+        # the tree and silently falls back elsewhere, with equal answers.
+        program = parse_program(
+            "p(x) :- label_a(x).\np(y) :- p(x), firstchild(x, y).", query="p"
+        )
+        tree = UnrankedStructure(parse_sexpr("a(b, a(b))"))
+        generic = GenericStructure(
+            4,
+            {
+                "label_a": [0, 2],
+                "firstchild": [(0, 1), (2, 3)],
+            },
+        )
+        on_tree = evaluate(program, tree)
+        on_generic = evaluate(program, generic)
+        assert on_tree.method == "kernel"
+        assert on_generic.method != "kernel"
+        assert on_tree.query_result() == on_generic.query_result() == {0, 1, 2, 3}
+
+    def test_constants_fall_back(self):
+        program = parse_program("p(x) :- firstchild(0, x).", query="p")
+        structure = UnrankedStructure(parse_sexpr("a(b, c)"))
+        assert compile_kernel(program) is None
+        result = evaluate(program, structure)
+        assert result.method != "kernel"
+        assert result.query_result() == {1}
+
+    def test_explicit_kernel_method_raises_when_inapplicable(self):
+        program = parse_program("p(x) :- label_a(x).", query="p")
+        generic = GenericStructure(2, {"label_a": [0]})
+        with pytest.raises(DatalogError):
+            compile_program(program).run(generic, method="kernel")
+        with pytest.raises(DatalogError):
+            evaluate_kernel(
+                parse_program("t(x, y) :- firstchild(x, y)."), generic
+            )
+
+    def test_single_node_and_empty_label_edge_cases(self):
+        program = parse_program(
+            "p(x) :- root(x), leaf(x), notlabel_b(x).", query="p"
+        )
+        result = evaluate(program, UnrankedStructure(parse_sexpr("a")))
+        assert result.method == "kernel"
+        assert result.query_result() == {0}
+        missing = parse_program("p(x) :- label_nothere(x).", query="p")
+        result = evaluate(missing, UnrankedStructure(parse_sexpr("a(b)")))
+        assert result.method == "kernel"
+        assert result.query_result() == set()
+
+
+class TestKernelBatchParity:
+    """Batch wrapping APIs route through the kernel with identical output."""
+
+    from repro.workloads import CATALOG_WRAPPER as _ELOG
+
+    def _trees(self):
+        from repro.html import parse_html
+        from repro.workloads import catalog_page
+
+        return [
+            parse_html(catalog_page(seed=seed, items=items))
+            for seed, items in ((1, 3), (2, 6), (3, 1))
+        ]
+
+    def test_wrapper_uses_kernel_and_matches_seminaive(self):
+        from repro.elog.parser import parse_elog
+        from repro.elog.translate import compile_elog
+
+        program = parse_elog(self._ELOG, query="price")
+        compiled, run_method = compile_elog(program)
+        assert run_method == "auto"
+        for tree in self._trees():
+            structure = as_indexed(UnrankedStructure(tree))
+            auto = compiled.run(structure, method=run_method)
+            assert auto.method == "kernel"
+            explicit = compiled.run(structure, method="seminaive")
+            assert auto.relations == explicit.relations
+
+    def test_wrap_many_parity_through_kernel(self):
+        from repro.elog.parser import parse_elog
+        from repro.wrap.extraction import Wrapper
+
+        program = parse_elog(self._ELOG, query="price")
+        wrapper = (
+            Wrapper()
+            .add_elog("price", program)
+            .add_elog("name", program, pattern="name")
+        )
+        trees = self._trees()
+        batch = wrapper.wrap_many(trees)
+        singles = [wrapper.wrap(tree) for tree in trees]
+        assert [out.to_sexpr() for out in batch] == [
+            out.to_sexpr() for out in singles
+        ]
+        extracted = wrapper.extract_many(trees)
+        for tree, row in zip(trees, extracted):
+            # The kernel-backed batch extraction matches a direct
+            # interpreted evaluation of the same translation.
+            from repro.elog.translate import elog_to_datalog
+
+            datalog = elog_to_datalog(program)
+            structure = UnrankedStructure(tree)
+            reference = evaluate_seminaive(datalog, structure)
+            assert row["price"] == {v for (v,) in reference["price"]}
+            assert row["name"] == {v for (v,) in reference["name"]}
+
+
+class TestStructureSatellites:
+    """Caching and arity-declaration satellites on repro.structures."""
+
+    def test_indexed_structure_caches_facts_and_total_size(self):
+        calls = {"relation": 0}
+
+        class Counting(GenericStructure):
+            def relation(self, name):
+                calls["relation"] += 1
+                return super().relation(name)
+
+        base = Counting(3, {"edge": [(0, 1)], "u": [0, 2]})
+        indexed = as_indexed(base)
+        first = indexed.facts()
+        assert indexed.facts() is first
+        assert first == {("edge", (0, 1)), ("u", (0,)), ("u", (2,))}
+        size = indexed.total_size()
+        calls_after_first = calls["relation"]
+        assert indexed.total_size() == size == 3 + 3
+        assert calls["relation"] == calls_after_first
+
+    def test_generic_structure_declared_arities(self):
+        structure = GenericStructure(
+            3, {"edge": [], "u": [0]}, arities={"edge": 2}
+        )
+        assert structure.arity("edge") == 2
+        assert structure.arity("u") == 1
+        # Undeclared empty relations keep the documented default.
+        assert GenericStructure(3, {"empty": []}).arity("empty") == 1
+
+    def test_generic_structure_arity_mismatch_raises(self):
+        with pytest.raises(DatalogError):
+            GenericStructure(3, {"edge": [(0, 1)]}, arities={"edge": 1})
+        with pytest.raises(DatalogError):
+            GenericStructure(3, {}, arities={"ghost": 1})
+        with pytest.raises(DatalogError):
+            GenericStructure(3, {"edge": []}, arities={"edge": -1})

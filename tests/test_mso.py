@@ -191,5 +191,9 @@ class TestTheorem44Anatomy:
         assert program.is_monadic()
         structure = UnrankedStructure(parse_sexpr("a(b(a), a(b))"))
         result = evaluate(program, structure)
-        assert result.method == "ground"  # Theorem 4.2 engine applies
+        # The Theorem 4.2 fragment applies: auto picks its hot path (the
+        # propagation kernel) and the grounding engine agrees.
+        assert result.method == "kernel"
+        ground = evaluate(program, structure, method="ground")
+        assert result.query_result() == ground.query_result()
         assert result.query_result() == query.select_ids(structure)

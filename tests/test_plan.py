@@ -294,10 +294,11 @@ class TestCrossStrategyEquivalence:
         )
         for _, structure in random_structures(seed=13, count=8):
             auto = evaluate(program, structure)
-            assert auto.method == "ground"
+            assert auto.method == "kernel"
             assert grounding_applicable(program, structure)
-            explicit = evaluate(program, structure, method="seminaive")
-            assert auto.query_result() == explicit.query_result()
+            for explicit_method in ("kernel", "ground", "seminaive"):
+                explicit = evaluate(program, structure, method=explicit_method)
+                assert auto.query_result() == explicit.query_result()
 
 
 class TestWrapperBatching:

@@ -19,9 +19,11 @@ Compilation (:func:`compile_kernel`, program-only, cached by
   forward traversal by child enumeration);
 * every rule body is lowered to a flat numeric op sequence -- functional
   *steps* (one array lookup), bounded *branch* steps (``child`` forward),
-  byte-mask checks for unary schema relations, and per-node predicate
-  *bitmask* tests for intensional atoms -- rooted at the cheapest anchor
-  (fewest branch steps first, then the most selective unary relation);
+  byte-mask checks for unary schema relations, per-node predicate
+  *bitmask* tests for intensional atoms, and guarded binds/equality
+  checks for body constants (each constant pins a slot to one node) --
+  rooted at the cheapest anchor (fewest branch steps first, then a
+  pinned constant, then the most selective unary relation);
 * programs whose best lowering is still *superlinear* in some rule --
   two chained branch steps, or a branch reached through the many-to-one
   ``parent`` map, so one node's children may be enumerated once per entry
@@ -72,12 +74,16 @@ _BCHECK = 2  # arr[vals[f]] == vals[t]
 _UBIT = 3  # unary schema byte mask test on vals[f]
 _IBIT = 4  # per-node predicate bitmask test
 _GBIT = 5  # propositional (0-ary) predicate bit test
+_CBIND = 6  # vals[t] = constant; fail if outside the domain
+_CCHECK = 7  # vals[f] == constant
 
 
 def _anchor_cost(name: Optional[str]) -> int:
     """Selectivity rank of a unary anchor relation (lower enumerates less)."""
     if name is None:
         return 5
+    if name.startswith("@const:"):
+        return -1  # a single pinned node: the cheapest possible anchor
     if name == "root":
         return 0
     if name.startswith("label_"):
@@ -106,6 +112,7 @@ class _Block:
         "head_slot",
         "branches",
         "superlinear",
+        "gate",
     )
 
     def __init__(self, anchor, start, nslots, ops, head_pred, head_slot):
@@ -115,6 +122,10 @@ class _Block:
         self.ops = tuple(ops)
         self.head_pred = head_pred
         self.head_slot = head_slot
+        #: For anchored trigger blocks of a constant-pinned intensional
+        #: atom ``q(c)``: run the enumeration only when the fired node is
+        #: ``c`` (otherwise every ``q`` fact would replay the sweep).
+        self.gate = None
         self.branches = sum(1 for op in ops if op[0] == "branch")
         # A single branch step is linear overall only when every entry node
         # reaches a *distinct* branch source, so the enumerated fan-outs sum
@@ -219,6 +230,12 @@ class KernelProgram:
             elif kind == "ibit":
                 _, pred, f = op
                 ops.append((_IBIT, pred, f, 0))
+            elif kind == "cbind":
+                _, value, t = op
+                ops.append((_CBIND, value, 0, t))
+            elif kind == "ccheck":
+                _, value, f = op
+                ops.append((_CCHECK, value, f, 0))
             else:  # gbit
                 _, pred = op
                 ops.append((_GBIT, pred, 0, 0))
@@ -236,6 +253,9 @@ class KernelProgram:
         def anchor_nodes(block: _Block):
             if block.anchor == "*":
                 return range(snapshot.size) if block.nslots else (0,)
+            if block.anchor.startswith("@const:"):
+                value = int(block.anchor[len("@const:") :])
+                return (value,) if 0 <= value < snapshot.size else ()
             nodes = snapshot.unary_nodes(block.anchor)
             return nodes if nodes is not None else None
 
@@ -263,7 +283,15 @@ class KernelProgram:
                         return None
                 vals = [0] * max(block.nslots, 1)
                 rows.append(
-                    (anchor, block.start, ops, block.head_pred, block.head_slot, vals)
+                    (
+                        anchor,
+                        block.start,
+                        ops,
+                        block.head_pred,
+                        block.head_slot,
+                        vals,
+                        block.gate,
+                    )
                 )
             bound_triggers.append(rows)
         return snapshot, bound_sweeps, bound_triggers
@@ -278,26 +306,39 @@ class KernelProgram:
                 "kernel strategy does not apply: structure is not tree-backed "
                 "or lacks a relation the program needs"
             )
-        return self._run_bound(bound)
+        return self._run_bound(bound)[0]
 
     def try_run(self, structure: Structure) -> Optional[Relations]:
         """Evaluate if applicable, else ``None`` (single bind, no raise)."""
         bound = self._bind(structure)
         if bound is None:
             return None
+        return self._run_bound(bound)[0]
+
+    def try_run_full(self, structure: Structure):
+        """Like :meth:`try_run`, but returns ``(relations, unary_sets)``.
+
+        ``unary_sets`` maps each unary output predicate to its plain
+        ``{node id}`` set -- a byproduct of the propagation loop that
+        batch wrappers consume directly instead of stripping 1-tuples.
+        """
+        bound = self._bind(structure)
+        if bound is None:
+            return None
         return self._run_bound(bound)
 
-    def _run_bound(self, bound) -> Relations:
+    def _run_bound(self, bound) -> Tuple[Relations, Dict[str, Set[int]]]:
         snapshot, sweeps, triggers = bound
         P = self.npreds
         relations: Relations = {
             name: set() for name, _, _ in self.outputs
         }
         if P == 0:
-            return relations
+            return relations, {}
 
         firstchild = snapshot.firstchild
         nextsibling = snapshot.nextsibling
+        domain_size = snapshot.size
         masks = [0] * snapshot.size
         gmask_cell = [0]
         stack: List[int] = []
@@ -327,6 +368,13 @@ class KernelProgram:
                         return
                 elif k == _BCHECK:
                     if obj[vals[f]] != vals[t]:
+                        return
+                elif k == _CBIND:
+                    if not 0 <= obj < domain_size:
+                        return
+                    vals[t] = obj
+                elif k == _CCHECK:
+                    if vals[f] != obj:
                         return
                 elif k == _GBIT:
                     if not (gmask_cell[0] >> obj) & 1:
@@ -369,11 +417,22 @@ class KernelProgram:
             token = stack.pop()
             if token >= 0:
                 v, pred = divmod(token, P)
-                for anchor, start, ops, head_pred, head_slot, vals in triggers[pred]:
-                    vals[start] = v
-                    execute(ops, 0, vals, head_pred, head_slot, len(ops))
+                for anchor, start, ops, head_pred, head_slot, vals, gate in triggers[
+                    pred
+                ]:
+                    if anchor is None:
+                        vals[start] = v
+                        execute(ops, 0, vals, head_pred, head_slot, len(ops))
+                    elif gate is None or gate == v:
+                        # An anchored re-sweep: a constant-pinned body atom
+                        # became true (or the gate is open), so replay the
+                        # rule from its enumerated anchor.
+                        nops = len(ops)
+                        for u in anchor:
+                            vals[start] = u
+                            execute(ops, 0, vals, head_pred, head_slot, nops)
             else:
-                for anchor, start, ops, head_pred, head_slot, vals in triggers[
+                for anchor, start, ops, head_pred, head_slot, vals, gate in triggers[
                     -token - 1
                 ]:
                     nops = len(ops)
@@ -381,13 +440,15 @@ class KernelProgram:
                         vals[start] = v
                         execute(ops, 0, vals, head_pred, head_slot, nops)
 
+        unary_sets: Dict[str, Set[int]] = {}
         for name, collected in out_lists:
-            relations[name] = {(v,) for v in collected}
+            unary_sets[name] = ids = set(collected)
+            relations[name] = {(v,) for v in ids}
         gmask = gmask_cell[0]
         for name, pred, arity in self.outputs:
             if pred >= 0 and arity == 0 and (gmask >> pred) & 1:
                 relations[name] = {()}
-        return relations
+        return relations, unary_sets
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -402,14 +463,16 @@ class KernelProgram:
 def _spanning(
     nslots: int,
     edges: List[Tuple[int, int, str, int]],
-    start: int,
+    sources: Set[int],
 ) -> Optional[Tuple[List[Tuple[str, tuple]], Set[int]]]:
-    """Minimum-branch traversal order binding all slots from ``start``.
+    """Minimum-branch traversal order binding all slots from ``sources``.
 
     Edges come from binary body atoms ``R(a, b)``; each is traversable
     ``b -> a`` by the backward functional map (cost 0) and ``a -> b`` by
     the forward map (cost 0) or, for ``child``, by enumeration (cost 1).
-    Returns ``(moves, tree_atom_indexes)`` where each move is
+    ``sources`` are the slots bound before any move runs -- the entry
+    slot plus every constant-pinned slot.  Returns
+    ``(moves, tree_atom_indexes)`` where each move is
     ``("step"| "branch", (rel, forward, from, to))`` in bind order, via a
     0-1 BFS; ``None`` when some slot is unreachable (a disconnected rule,
     which :func:`split_disconnected` should have prevented).
@@ -428,8 +491,10 @@ def _spanning(
     INF = float("inf")
     dist = [INF] * nslots
     via: List[Optional[Tuple[int, str, bool, int, int]]] = [None] * nslots
-    dist[start] = 0
-    queue = deque([start])
+    queue = deque()
+    for start in sources:
+        dist[start] = 0
+        queue.append(start)
     while queue:
         u = queue.popleft()
         for cost, v, rel, forward, atom_idx in adjacency[u]:
@@ -447,7 +512,7 @@ def _spanning(
     tree_atoms: Set[int] = set()
     # Emit moves in an order where each move's source slot is already
     # bound: repeated passes over the predecessor tree (nslots is tiny).
-    bound = {start}
+    bound = set(sources)
     pending = set(range(nslots)) - bound
     while pending:
         progressed = False
@@ -478,33 +543,48 @@ class _RuleShape:
         "unary_ext",
         "unary_int",
         "gbits",
+        "consts",
         "head_pred",
         "head_slot",
     )
 
 
 def _shape(rule: Rule, pred_index: Dict[str, int], intensional: Set[str]):
-    """Extract the numeric shape of one rule; ``None`` if unsupported."""
+    """Extract the numeric shape of one rule; ``None`` if unsupported.
+
+    Body constants each get a dedicated slot (``shape.consts`` records
+    ``(slot, value)`` pairs): the instantiation is anchored at the pinned
+    node, so constant-bearing rules stay inside the kernel fragment
+    instead of falling back to the general engine.
+    """
     shape = _RuleShape()
     shape.rule = rule
     slot_of: Dict[Variable, int] = {}
     for variable in sorted(rule.variables(), key=lambda v: v.name):
         slot_of[variable] = len(slot_of)
-    shape.slot_of = slot_of
-    shape.nslots = len(slot_of)
+    const_slot: Dict[int, int] = {}
+    shape.consts = []
+
+    def term_slot(term) -> int:
+        if isinstance(term, Constant):
+            slot = const_slot.get(term.value)
+            if slot is None:
+                slot = const_slot[term.value] = len(slot_of) + len(shape.consts)
+                shape.consts.append((slot, term.value))
+            return slot
+        return slot_of[term]
+
     shape.edges = []
     shape.unary_ext = []
     shape.unary_int = []
     shape.gbits = []
     for atom_idx, atom in enumerate(rule.body):
-        if any(isinstance(t, Constant) for t in atom.args):
-            return None
         if atom.arity == 0:
             if atom.pred not in intensional:
                 return None
             shape.gbits.append((pred_index[atom.pred], atom_idx))
         elif atom.arity == 1:
-            slot = slot_of[atom.args[0]]
+            slot = term_slot(atom.args[0])
             if atom.pred in intensional:
                 shape.unary_int.append((pred_index[atom.pred], slot, atom_idx))
             else:
@@ -512,10 +592,11 @@ def _shape(rule: Rule, pred_index: Dict[str, int], intensional: Set[str]):
         elif atom.arity == 2:
             if atom.pred in intensional or not _BINARY_NAME.match(atom.pred):
                 return None
-            a, b = (slot_of[t] for t in atom.args)
+            a, b = (term_slot(t) for t in atom.args)
             shape.edges.append((a, b, atom.pred, atom_idx))
         else:
             return None
+    shape.nslots = len(slot_of) + len(shape.consts)
     head = rule.head
     if head.arity > 1 or any(isinstance(t, Constant) for t in head.args):
         return None
@@ -528,7 +609,8 @@ def _assemble(
     shape: _RuleShape, start: int, skip_atom: int
 ) -> Optional[List[tuple]]:
     """Full op list for one entry point, checks as early as possible."""
-    result = _spanning(shape.nslots, shape.edges, start)
+    sources = {start} | {slot for slot, _ in shape.consts}
+    result = _spanning(shape.nslots, shape.edges, sources)
     if result is None:
         return None
     moves, tree_atoms = result
@@ -550,7 +632,7 @@ def _assemble(
         for a, b, rel, atom_idx in shape.edges
         if atom_idx not in tree_atoms
     ]
-    bound: Set[int] = {start}
+    bound: Set[int] = set(sources)
 
     def flush(slot: int) -> None:
         ops.extend(checks_by_slot.pop(slot, ()))
@@ -560,8 +642,19 @@ def _assemble(
                 ops.append(("bcheck", rel, a, b))
                 remaining_binary.remove(entry)
 
+    # Pin the constant slots first: the entry slot gets an equality check
+    # (trigger blocks arrive with an arbitrary fired node there), every
+    # other constant slot a guarded bind.
+    for slot, value in shape.consts:
+        if slot == start:
+            ops.append(("ccheck", value, slot))
+        else:
+            ops.append(("cbind", value, slot))
     if shape.nslots:
         flush(start)
+        for slot, _ in shape.consts:
+            if slot != start:
+                flush(slot)
     for kind, payload in moves:
         ops.append((kind, *payload))
         target = payload[-1]
@@ -576,6 +669,10 @@ def _pick_anchor(shape: _RuleShape, skip_atom: int) -> Optional[_Block]:
     candidates: List[Tuple[Optional[str], int]] = [
         (name, slot) for name, slot, atom_idx in shape.unary_ext
     ]
+    # A constant pins its slot to one node: the ideal anchor.
+    candidates.extend(
+        (f"@const:{value}", slot) for slot, value in shape.consts
+    )
     if shape.nslots:
         fallback_slot = shape.head_slot if shape.head_slot >= 0 else 0
         candidates.append((None, fallback_slot))
@@ -589,7 +686,7 @@ def _pick_anchor(shape: _RuleShape, skip_atom: int) -> Optional[_Block]:
         ops = _assemble(shape, slot, consumed)
         if ops is None:
             continue
-        if name is not None:
+        if name is not None and not name.startswith("@const:"):
             # Drop exactly one check of this (name, slot) pair: the
             # enumeration already guarantees it.
             for i, op in enumerate(ops):
@@ -659,14 +756,23 @@ def _lower(source: Program, lowered: Program, route: str) -> Optional[KernelProg
                 return None
             sweeps.append(block)
             continue
+        const_value = {slot: value for slot, value in shape.consts}
         for kind, pred, slot, atom_idx in occurrences:
-            if kind == "unary":
+            if kind == "unary" and slot not in const_value:
                 ops = _assemble(shape, slot, atom_idx)
                 if ops is None:
                     return None
                 block = _Block(
                     None, slot, shape.nslots, ops, shape.head_pred, shape.head_slot
                 )
+            elif kind == "unary":
+                # ``q(c)``: when the fact fires at exactly node ``c`` (the
+                # gate), re-run the rule from its best enumerated anchor,
+                # keeping every check.
+                block = _pick_anchor(shape, skip_atom=-1)
+                if block is None:
+                    return None
+                block.gate = const_value[slot]
             else:
                 block = _pick_anchor(shape, skip_atom=atom_idx)
                 if block is None:
@@ -693,9 +799,19 @@ def compile_kernel(program: Program) -> Optional[KernelProgram]:
     reaches a branch through the many-to-one ``parent`` map, either of
     which can exceed the linear bound -- the program is re-lowered through
     the Theorem 5.2 TMNF normalization, whose rules only use
-    bidirectionally functional relations.  Returns ``None`` for programs
-    outside both fragments (non-monadic programs, constants, unsupported
-    binary relations); callers then fall back to another strategy.
+    bidirectionally functional relations.  Body constants stay inside the
+    fragment: each pins a slot to a single node and is preferred as the
+    rule's anchor.  Returns ``None`` for programs outside both fragments
+    (non-monadic programs, head constants, unsupported binary relations);
+    callers then fall back to another strategy.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> from repro.trees import parse_sexpr
+    >>> from repro.trees.unranked import UnrankedStructure
+    >>> anchored = compile_kernel(parse_program(
+    ...     "p(x) :- firstchild(0, x).", query="p"))
+    >>> sorted(anchored.run(UnrankedStructure(parse_sexpr("a(b, c)")))["p"])
+    [(1,)]
     """
     if not program.is_monadic():
         return None

@@ -61,13 +61,27 @@ class EvaluationResult:
         The program's query predicate, if any.
     """
 
-    def __init__(self, relations: Relations, method: str, query: Optional[str]):
+    def __init__(
+        self,
+        relations: Relations,
+        method: str,
+        query: Optional[str],
+        unary_sets: Optional[Dict[str, Set[int]]] = None,
+    ):
         self.relations = relations
         self.method = method
         self.query = query
+        #: Optional engine-supplied ``pred -> {node ids}`` sets (the
+        #: propagation kernel produces them for free), so batch wrappers
+        #: skip re-deriving them from the tuple sets.
+        self._unary_sets = unary_sets
 
     def unary(self, pred: str) -> Set[int]:
         """The extension of a unary predicate as a set of node identifiers."""
+        if self._unary_sets is not None:
+            cached = self._unary_sets.get(pred)
+            if cached is not None:
+                return cached
         return {tup[0] for tup in self.relations.get(pred, set()) if len(tup) == 1}
 
     def query_result(self) -> Set[int]:
@@ -459,6 +473,16 @@ class CompiledProgram:
                 self._kernel_cache = (None,)
         return self._kernel_cache[0]
 
+    def prepare(self) -> "CompiledProgram":
+        """Force every lazy program-only artifact (strata, split, kernel).
+
+        Useful before timing a batch or before pickling the plan into
+        worker processes, so each worker receives fully materialized
+        tables instead of re-deriving them.
+        """
+        _ = self._strata, self._split, self._kernel
+        return self
+
     # -- introspection -------------------------------------------------------
 
     @property
@@ -546,9 +570,12 @@ class CompiledProgram:
             # Theorem 4.2 grounding, then the general compiled join plans.
             kernel = self._kernel
             if kernel is not None:
-                relations = kernel.try_run(edb)
-                if relations is not None:
-                    return EvaluationResult(relations, "kernel", self.program.query)
+                out = kernel.try_run_full(edb)
+                if out is not None:
+                    relations, unary_sets = out
+                    return EvaluationResult(
+                        relations, "kernel", self.program.query, unary_sets
+                    )
             method = "ground" if self.grounding_applicable(edb) else "seminaive"
 
         if method == "kernel":
@@ -558,7 +585,16 @@ class CompiledProgram:
                     "kernel strategy does not apply: program is outside the "
                     "monadic tree fragment"
                 )
-            return EvaluationResult(kernel.run(edb), "kernel", self.program.query)
+            out = kernel.try_run_full(edb)
+            if out is None:
+                raise DatalogError(
+                    "kernel strategy does not apply: structure is not "
+                    "tree-backed or lacks a relation the program needs"
+                )
+            relations, unary_sets = out
+            return EvaluationResult(
+                relations, "kernel", self.program.query, unary_sets
+            )
         if method == "ground":
             from repro.datalog.grounding import evaluate_ground
 

@@ -1,6 +1,7 @@
 """HTML tree construction.
 
-Builds a :class:`repro.trees.Node` document from the token stream:
+Builds a :class:`repro.trees.Node` document from the
+:func:`repro.html.tokenizer.scan_events` stream:
 
 * labels are lowercased tag names; text nodes carry the label ``#text``
   with the text in ``node.text``;
@@ -13,37 +14,25 @@ Builds a :class:`repro.trees.Node` document from the token stream:
   input;
 * if the input has no single root element, everything is wrapped under a
   synthetic ``document`` node.
+
+The tag-soup policy (void elements, implicit closers, scope barriers)
+lives in :mod:`repro.html.policy` and is shared verbatim with the
+Node-free streaming snapshot builder (:mod:`repro.trees.stream`), so the
+two front ends cannot drift apart.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import List
 
-from repro.html.tokenizer import Token, tokenize
+from repro.html.policy import (
+    IMPLICIT_CLOSERS,
+    VOID_ELEMENTS,
+    end_tag_cut,
+    implied_close_cut,
+)
+from repro.html.tokenizer import scan_events
 from repro.trees.node import Node
-
-#: Elements that never have content.
-VOID_ELEMENTS = {
-    "area", "base", "br", "col", "embed", "hr", "img", "input",
-    "link", "meta", "param", "source", "track", "wbr",
-}
-
-#: opening tag -> set of open tags it implicitly closes (nearest first).
-IMPLICIT_CLOSERS: Dict[str, Set[str]] = {
-    "li": {"li"},
-    "option": {"option"},
-    "p": {"p"},
-    "tr": {"td", "th", "tr"},
-    "td": {"td", "th"},
-    "th": {"td", "th"},
-    "thead": {"tr", "td", "th"},
-    "tbody": {"thead", "tr", "td", "th", "tbody"},
-    "dt": {"dd", "dt"},
-    "dd": {"dd", "dt"},
-}
-
-#: Block elements an implicit closer must not escape.
-_SCOPE_BARRIERS = {"table", "ul", "ol", "dl", "select", "body", "html", "document"}
 
 
 def parse_html(html: str, root_label: str = "document") -> Node:
@@ -55,48 +44,37 @@ def parse_html(html: str, root_label: str = "document") -> Node:
     """
     synthetic_root = Node(root_label)
     stack: List[Node] = [synthetic_root]
+    labels: List[str] = [root_label]
 
-    def close_until(names: Set[str]) -> None:
-        # Repeatedly close the innermost matching open element, without
-        # crossing a scope barrier (a new <tr> closes an open td *and* the
-        # open tr; a new <li> closes an li through intervening inline
-        # elements).
-        closed = True
-        while closed:
-            closed = False
-            for index in range(len(stack) - 1, 0, -1):
-                label = stack[index].label
-                if label in names:
-                    del stack[index:]
-                    closed = True
-                    break
-                if label in _SCOPE_BARRIERS:
-                    return
-
-    for token in tokenize(html):
-        if token.kind in ("comment", "doctype"):
+    for event in scan_events(html):
+        kind = event[0]
+        if kind == "text":
+            stack[-1].add_child(Node("#text", text=event[1]))
             continue
-        if token.kind == "text":
-            text_node = Node("#text", text=token.data)
-            stack[-1].add_child(text_node)
-            continue
-        if token.kind == "start":
-            closers = IMPLICIT_CLOSERS.get(token.name)
+        if kind == "start":
+            _, name, attrs, self_closing = event
+            closers = IMPLICIT_CLOSERS.get(name)
             if closers:
-                close_until(closers)
-            element = Node(token.name, attrs=dict(token.attrs))
+                cut = implied_close_cut(labels, closers)
+                if cut < len(stack):
+                    del stack[cut:]
+                    del labels[cut:]
+            element = Node(name, attrs=attrs)
             stack[-1].add_child(element)
-            if token.name not in VOID_ELEMENTS and not token.self_closing:
+            if name not in VOID_ELEMENTS and not self_closing:
                 stack.append(element)
+                labels.append(name)
             continue
-        if token.kind == "end":
-            if token.name in VOID_ELEMENTS:
+        if kind == "end":
+            name = event[1]
+            if name in VOID_ELEMENTS:
                 continue
-            for index in range(len(stack) - 1, 0, -1):
-                if stack[index].label == token.name:
-                    del stack[index:]
-                    break
+            cut = end_tag_cut(labels, name)
+            if cut < len(stack):
+                del stack[cut:]
+                del labels[cut:]
             continue
+        # comments and doctypes carry no tree content
 
     # Unwrap the synthetic root when the document has one root element and
     # no top-level text.

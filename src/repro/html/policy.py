@@ -1,0 +1,77 @@
+"""Shared HTML tree-construction policy.
+
+The tag-soup rules -- void elements, implicit-close tables, scope
+barriers, end-tag matching -- are needed by *two* builders that must
+never drift apart: the classic :class:`~repro.trees.node.Node` builder
+(:mod:`repro.html.parser`) and the Node-free streaming snapshot builder
+(:mod:`repro.trees.stream`).  Both keep a plain list of open-element
+*labels* alongside their own stack representation and delegate every
+policy decision to the helpers here, which compute stack *cut indexes*
+(the new length of the open-element stack) without touching the builder's
+node representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+#: Elements that never have content.
+VOID_ELEMENTS = {
+    "area", "base", "br", "col", "embed", "hr", "img", "input",
+    "link", "meta", "param", "source", "track", "wbr",
+}
+
+#: opening tag -> set of open tags it implicitly closes (nearest first).
+IMPLICIT_CLOSERS: Dict[str, Set[str]] = {
+    "li": {"li"},
+    "option": {"option"},
+    "p": {"p"},
+    "tr": {"td", "th", "tr"},
+    "td": {"td", "th"},
+    "th": {"td", "th"},
+    "thead": {"tr", "td", "th"},
+    "tbody": {"thead", "tr", "td", "th", "tbody"},
+    "dt": {"dd", "dt"},
+    "dd": {"dd", "dt"},
+}
+
+#: Block elements an implicit closer must not escape.
+SCOPE_BARRIERS = {"table", "ul", "ol", "dl", "select", "body", "html", "document"}
+
+
+def implied_close_cut(labels: List[str], names: Set[str]) -> int:
+    """Stack length after the implicit-close rules fire for ``names``.
+
+    ``labels`` are the labels of the open-element stack (index 0 is the
+    synthetic root, which never closes).  Repeatedly closing the innermost
+    open element whose label is in ``names`` -- without crossing a scope
+    barrier -- amounts to truncating at the *lowest* matching frame
+    reachable from the top before a barrier intervenes.
+
+    >>> implied_close_cut(["document", "table", "tr", "td", "b"], {"td", "th", "tr"})
+    2
+    >>> implied_close_cut(["document", "li", "table", "tr"], {"li"})
+    4
+    """
+    cut = len(labels)
+    for index in range(len(labels) - 1, 0, -1):
+        label = labels[index]
+        if label in names:
+            cut = index
+        elif label in SCOPE_BARRIERS:
+            break
+    return cut
+
+
+def end_tag_cut(labels: List[str], name: str) -> int:
+    """Stack length after an explicit ``</name>``; unmatched tags cut nothing.
+
+    >>> end_tag_cut(["document", "ul", "li", "b"], "ul")
+    1
+    >>> end_tag_cut(["document", "ul"], "p")
+    2
+    """
+    for index in range(len(labels) - 1, 0, -1):
+        if labels[index] == name:
+            return index
+    return len(labels)

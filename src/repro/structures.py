@@ -75,6 +75,17 @@ class Structure:
         """Iterate over the names of all available relations."""
         raise NotImplementedError
 
+    def snapshot(self):
+        """Columnar :class:`repro.trees.snapshot.TreeSnapshot`, if any.
+
+        Tree-backed structures (:class:`repro.trees.unranked.UnrankedStructure`,
+        :class:`repro.trees.ranked.RankedStructure`,
+        :class:`repro.wrap.document.Document`) return their cached
+        snapshot; the default ``None`` tells the propagation kernel the
+        strategy does not apply here.
+        """
+        return None
+
     # -- convenience -------------------------------------------------------
 
     def facts(self) -> Set[Tuple[str, Fact]]:

@@ -14,6 +14,9 @@ This package implements Section 2 of the paper:
   Figure 1;
 * :mod:`repro.trees.snapshot` -- columnar tree snapshots (flat integer
   columns + interned labels) feeding the linear-time propagation kernel;
+* :mod:`repro.trees.stream` -- the streaming snapshot builder: document
+  events (HTML tokens, s-expressions, tree replays) written straight
+  into snapshot columns, no :class:`Node` allocation;
 * :mod:`repro.trees.traversal` -- traversals and document order;
 * :mod:`repro.trees.generate` -- deterministic random tree generators for
   tests and benchmarks.
@@ -21,6 +24,12 @@ This package implements Section 2 of the paper:
 
 from repro.trees.node import Node, parse_sexpr, to_sexpr
 from repro.trees.snapshot import TreeSnapshot
+from repro.trees.stream import (
+    SnapshotBuilder,
+    html_snapshot,
+    sexpr_snapshot,
+    tree_snapshot,
+)
 from repro.trees.unranked import UnrankedStructure
 from repro.trees.ranked import RankedAlphabet, RankedStructure, validate_ranked
 from repro.trees.binary import BinNode, decode_binary, encode_binary
@@ -44,6 +53,10 @@ __all__ = [
     "parse_sexpr",
     "to_sexpr",
     "TreeSnapshot",
+    "SnapshotBuilder",
+    "html_snapshot",
+    "sexpr_snapshot",
+    "tree_snapshot",
     "UnrankedStructure",
     "RankedAlphabet",
     "RankedStructure",

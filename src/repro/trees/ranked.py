@@ -128,7 +128,7 @@ class RankedStructure(Structure):
         resolution to ``child1 .. childK`` plus the unary relations.
         """
         if self._snapshot is None:
-            self._snapshot = TreeSnapshot(
+            self._snapshot = TreeSnapshot.from_tree(
                 self._nodes, self._ids, "ranked", self._alphabet.max_rank
             )
         return self._snapshot

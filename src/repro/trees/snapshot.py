@@ -27,7 +27,7 @@ would itself supply: asking for a relation outside the schema returns
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.trees.node import Node
 
@@ -37,8 +37,16 @@ class TreeSnapshot:
 
     Built by :meth:`repro.trees.unranked.UnrankedStructure.snapshot` /
     :meth:`repro.trees.ranked.RankedStructure.snapshot` (and cached there
-    and on :class:`repro.structures.IndexedStructure`); not usually
-    constructed by hand.
+    and on :class:`repro.structures.IndexedStructure`) via
+    :meth:`from_tree`, or column-by-column -- without any
+    :class:`~repro.trees.node.Node` allocation -- by the streaming
+    :class:`repro.trees.stream.SnapshotBuilder`; not usually constructed
+    by hand.
+
+    The optional ``texts`` / ``attrs`` side columns carry the text payload
+    and attribute dictionary per node (sparse ``node id -> value``
+    mappings; most nodes have neither), so HTML documents can be wrapped
+    -- including text capture on output nodes -- from the columns alone.
 
     Examples
     --------
@@ -67,24 +75,61 @@ class TreeSnapshot:
         "label_ids",
         "labels",
         "label_index",
+        "texts",
+        "attrs",
         "_unary_masks",
         "_unary_nodes",
         "_forward",
         "_backward",
         "_child_index",
+        "_label_nodes",
     )
 
     def __init__(
         self,
+        schema: str,
+        parent: List[int],
+        firstchild: List[int],
+        nextsibling: List[int],
+        prevsibling: List[int],
+        lastchild: List[int],
+        label_ids: List[int],
+        labels: List[str],
+        label_index: Dict[str, int],
+        max_rank: int = 0,
+        texts: Optional[Dict[int, str]] = None,
+        attrs: Optional[Dict[int, Dict[str, str]]] = None,
+    ):
+        self.size = len(parent)
+        self.schema = schema
+        self.max_rank = max_rank
+        self.parent = parent
+        self.firstchild = firstchild
+        self.nextsibling = nextsibling
+        self.prevsibling = prevsibling
+        self.lastchild = lastchild
+        self.label_ids = label_ids
+        self.labels = labels
+        self.label_index = label_index
+        self.texts = texts
+        self.attrs = attrs
+        self._unary_masks: Dict[str, Optional[bytearray]] = {}
+        self._unary_nodes: Dict[str, Optional[List[int]]] = {}
+        self._forward: Dict[str, Optional[List[int]]] = {}
+        self._backward: Dict[str, Optional[List[int]]] = {}
+        self._child_index: Optional[List[int]] = None
+        self._label_nodes: Optional[List[List[int]]] = None
+
+    @classmethod
+    def from_tree(
+        cls,
         nodes: Sequence[Node],
         ids: Dict[int, int],
         schema: str,
         max_rank: int = 0,
-    ):
+    ) -> "TreeSnapshot":
+        """Flatten an existing :class:`Node` tree (document-order ids)."""
         n = len(nodes)
-        self.size = n
-        self.schema = schema
-        self.max_rank = max_rank
         parent = [-1] * n
         firstchild = [-1] * n
         nextsibling = [-1] * n
@@ -93,12 +138,18 @@ class TreeSnapshot:
         label_ids = [0] * n
         labels: List[str] = []
         label_index: Dict[str, int] = {}
+        texts: Dict[int, str] = {}
+        attrs: Dict[int, Dict[str, str]] = {}
         for i, node in enumerate(nodes):
             lid = label_index.get(node.label)
             if lid is None:
                 lid = label_index[node.label] = len(labels)
                 labels.append(node.label)
             label_ids[i] = lid
+            if node.text:
+                texts[i] = node.text
+            if node.attrs:
+                attrs[i] = node.attrs
             children = node.children
             if children:
                 previous = -1
@@ -112,21 +163,37 @@ class TreeSnapshot:
                         prevsibling[ci] = previous
                     previous = ci
                 lastchild[i] = previous
-        self.parent = parent
-        self.firstchild = firstchild
-        self.nextsibling = nextsibling
-        self.prevsibling = prevsibling
-        self.lastchild = lastchild
-        self.label_ids = label_ids
-        self.labels = labels
-        self.label_index = label_index
-        self._unary_masks: Dict[str, Optional[bytearray]] = {}
-        self._unary_nodes: Dict[str, Optional[List[int]]] = {}
-        self._forward: Dict[str, Optional[List[int]]] = {}
-        self._backward: Dict[str, Optional[List[int]]] = {}
-        self._child_index: Optional[List[int]] = None
+        return cls(
+            schema,
+            parent,
+            firstchild,
+            nextsibling,
+            prevsibling,
+            lastchild,
+            label_ids,
+            labels,
+            label_index,
+            max_rank=max_rank,
+            texts=texts,
+            attrs=attrs,
+        )
 
     # -- unary relations ---------------------------------------------------
+
+    def label_nodes(self) -> List[List[int]]:
+        """Node-id lists per label id (one document-order pass, cached).
+
+        The anchor lists behind every ``label_a`` sweep of the kernel, so
+        a document with many distinct labels pays one scan total instead
+        of one scan per queried label.
+        """
+        if self._label_nodes is None:
+            by_label: List[List[int]] = [[] for _ in self.labels]
+            label_ids = self.label_ids
+            for i in range(self.size):
+                by_label[label_ids[i]].append(i)
+            self._label_nodes = by_label
+        return self._label_nodes
 
     def _compute_unary_mask(self, name: str) -> Optional[bytearray]:
         n = self.size
@@ -138,30 +205,40 @@ class TreeSnapshot:
                 mask[0] = 1
             return mask
         if name == "leaf":
-            firstchild = self.firstchild
-            return bytearray(1 if firstchild[i] < 0 else 0 for i in range(n))
+            # Non-leaves are exactly the nodes that occur as a parent.
+            mask = bytearray(b"\x01" * n)
+            for p in self.parent:
+                if p >= 0:
+                    mask[p] = 0
+            return mask
         if self.schema == "unranked" and name == "lastsibling":
-            parent, nextsibling = self.parent, self.nextsibling
-            return bytearray(
-                1 if parent[i] >= 0 and nextsibling[i] < 0 else 0 for i in range(n)
-            )
+            # Last siblings are exactly the ``lastchild`` targets.
+            mask = bytearray(n)
+            for v in self.lastchild:
+                if v >= 0:
+                    mask[v] = 1
+            return mask
         if self.schema == "unranked" and name == "firstsibling":
-            parent, prevsibling = self.parent, self.prevsibling
-            return bytearray(
-                1 if parent[i] >= 0 and prevsibling[i] < 0 else 0 for i in range(n)
-            )
+            # First siblings are exactly the ``firstchild`` targets.
+            mask = bytearray(n)
+            for v in self.firstchild:
+                if v >= 0:
+                    mask[v] = 1
+            return mask
         if name.startswith("label_"):
             lid = self.label_index.get(name[len("label_") :])
-            if lid is None:
-                return bytearray(n)
-            label_ids = self.label_ids
-            return bytearray(1 if label_ids[i] == lid else 0 for i in range(n))
+            mask = bytearray(n)
+            if lid is not None:
+                for i in self.label_nodes()[lid]:
+                    mask[i] = 1
+            return mask
         if name.startswith("notlabel_"):
             lid = self.label_index.get(name[len("notlabel_") :])
-            if lid is None:
-                return bytearray(b"\x01" * n)
-            label_ids = self.label_ids
-            return bytearray(0 if label_ids[i] == lid else 1 for i in range(n))
+            mask = bytearray(b"\x01" * n)
+            if lid is not None:
+                for i in self.label_nodes()[lid]:
+                    mask[i] = 0
+            return mask
         return None
 
     def unary_mask(self, name: str) -> Optional[bytearray]:
@@ -173,10 +250,19 @@ class TreeSnapshot:
     def unary_nodes(self, name: str) -> Optional[List[int]]:
         """Node ids satisfying unary relation ``name`` (anchor lists)."""
         if name not in self._unary_nodes:
-            mask = self.unary_mask(name)
-            self._unary_nodes[name] = (
-                None if mask is None else [i for i in range(self.size) if mask[i]]
-            )
+            if name.startswith("label_"):
+                lid = self.label_index.get(name[len("label_") :])
+                nodes: Optional[List[int]] = (
+                    [] if lid is None else self.label_nodes()[lid]
+                )
+            else:
+                mask = self.unary_mask(name)
+                nodes = (
+                    None
+                    if mask is None
+                    else [i for i in range(self.size) if mask[i]]
+                )
+            self._unary_nodes[name] = nodes
         return self._unary_nodes[name]
 
     # -- binary relations --------------------------------------------------
@@ -272,6 +358,90 @@ class TreeSnapshot:
     def branches_forward(self, name: str) -> bool:
         """Whether ``name`` is traversable forward by child enumeration."""
         return self.schema == "unranked" and name == "child"
+
+    # -- tree navigation ---------------------------------------------------
+
+    def children(self, v: int) -> Iterator[int]:
+        """Ids of ``v``'s children, left to right."""
+        child = self.firstchild[v]
+        nextsibling = self.nextsibling
+        while child >= 0:
+            yield child
+            child = nextsibling[child]
+
+    def subtree(self, v: int) -> Iterator[int]:
+        """Ids of the subtree rooted at ``v`` in document (pre-) order."""
+        firstchild = self.firstchild
+        nextsibling = self.nextsibling
+        stack = [v]
+        pop = stack.pop
+        while stack:
+            u = pop()
+            yield u
+            child = firstchild[u]
+            if child >= 0:
+                row = [child]
+                child = nextsibling[child]
+                while child >= 0:
+                    row.append(child)
+                    child = nextsibling[child]
+                stack.extend(reversed(row))
+
+    def node_text(self, v: int) -> str:
+        """Concatenated text payloads of ``v``'s subtree, in document order.
+
+        Mirrors :func:`repro.wrap.output.node_text`; returns ``""`` when
+        the snapshot carries no text column.
+        """
+        return self.node_texts((v,))[0]
+
+    def node_texts(self, ids: Sequence[int]) -> List[str]:
+        """:meth:`node_text` for a batch of nodes, binding the walk once.
+
+        The single columnar implementation of the strip-and-join rule:
+        the wrapped-output builder feeds every captured leaf through this
+        in one call.
+        """
+        texts = self.texts
+        if not texts:
+            return [""] * len(ids)
+        get = texts.get
+        firstchild = self.firstchild
+        nextsibling = self.nextsibling
+        out: List[str] = []
+        for v in ids:
+            child = firstchild[v]
+            if (
+                child >= 0
+                and firstchild[child] < 0
+                and nextsibling[child] < 0
+                and v not in texts
+            ):
+                # Fast path: an element whose whole subtree is one leaf
+                # (e.g. a table cell holding a single text node).
+                t = get(child)
+                out.append(t.strip() if t else "")
+                continue
+            parts: List[str] = []
+            stack = [v]
+            pop = stack.pop
+            while stack:
+                u = pop()
+                t = get(u)
+                if t:
+                    t = t.strip()
+                    if t:
+                        parts.append(t)
+                child = firstchild[u]
+                if child >= 0:
+                    row = [child]
+                    child = nextsibling[child]
+                    while child >= 0:
+                        row.append(child)
+                        child = nextsibling[child]
+                    stack.extend(reversed(row))
+            out.append(" ".join(parts))
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"TreeSnapshot({self.schema!r}, {self.size} nodes)"

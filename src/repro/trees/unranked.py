@@ -119,7 +119,7 @@ class UnrankedStructure(Structure):
         :class:`repro.trees.snapshot.TreeSnapshot`.
         """
         if self._snapshot is None:
-            self._snapshot = TreeSnapshot(self._nodes, self._ids, "unranked")
+            self._snapshot = TreeSnapshot.from_tree(self._nodes, self._ids, "unranked")
         return self._snapshot
 
     # -- relations ---------------------------------------------------------

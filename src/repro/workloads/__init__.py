@@ -13,6 +13,7 @@ on deterministic synthetic documents that exercise the same code paths
 from repro.workloads.docs import (
     CATALOG_WRAPPER,
     catalog_page,
+    catalog_pages,
     news_page,
     noisy_table_page,
 )
@@ -21,6 +22,7 @@ from repro.workloads.programs import chain_program, even_a_family, wide_program
 __all__ = [
     "CATALOG_WRAPPER",
     "catalog_page",
+    "catalog_pages",
     "news_page",
     "noisy_table_page",
     "chain_program",

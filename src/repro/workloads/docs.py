@@ -62,6 +62,16 @@ def catalog_page(seed: int, items: int, with_discounts: bool = True) -> str:
     )
 
 
+def catalog_pages(count: int, items: int, seed0: int = 0) -> List[str]:
+    """A batch of distinct catalog pages (the streaming-pipeline workload).
+
+    Returns ``count`` HTML strings with seeds ``seed0 .. seed0+count-1``;
+    feed them to :meth:`repro.wrap.extraction.Wrapper.wrap_html_many` (or
+    parse each for the classic tree path).
+    """
+    return [catalog_page(seed=seed0 + i, items=items) for i in range(count)]
+
+
 def _comment(rng: random.Random, depth: int) -> str:
     author = rng.choice(_COMMENTERS)
     body = f"Comment by {author} at depth {depth}."

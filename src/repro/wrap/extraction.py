@@ -3,26 +3,41 @@
 A :class:`Wrapper` maps extraction-predicate names to unary queries; it
 can host queries in any of the library's formalisms (Elog- programs,
 monadic datalog programs, MSO formulas, automaton queries), evaluates them
-all on a document tree, and assembles the wrapped output tree of
-Section 6's introduction.
+all on a document, and assembles the wrapped output tree of Section 6's
+introduction.
 
 The wrapper is a *compile-once* artifact: every registered datalog/Elog
 program is compiled into a :class:`repro.datalog.plan.CompiledProgram` the
 first time it runs and the plan is reused for every subsequent document
-(MSO queries are already compiled to automata at registration).  Per
-document, one shared :class:`repro.structures.IndexedStructure` carries the
-relation extensions, positional indexes and the columnar tree snapshot
-across *all* extraction functions; the batch entry points
-:meth:`Wrapper.extract_many` and :meth:`Wrapper.wrap_many` exploit both
-properties to wrap a stream of documents without redundant work.  Datalog
-and Elog- extraction functions run with automatic strategy selection, so
-monadic tree workloads -- the common case for wrappers -- go through the
-linear-time propagation kernel (:mod:`repro.datalog.kernel`).
+(MSO queries are already compiled to automata at registration).
+Extraction functions registered from the *same* program object share one
+plan and one evaluation per document, so a wrapper pulling several
+patterns out of one Elog- program pays for a single fixpoint.
+
+Documents come in two representations, interchangeable everywhere:
+
+* classic :class:`repro.trees.node.Node` trees (``parse_html`` /
+  ``parse_sexpr`` output), wrapped in a shared per-document
+  :class:`repro.structures.IndexedStructure`;
+* streaming :class:`repro.wrap.document.Document` facades -- snapshot
+  columns straight from the HTML tokenizer events, **no Node objects**
+  -- whose outputs are assembled by
+  :func:`repro.wrap.output.build_output_from_snapshot`.
+
+The batch entry points :meth:`Wrapper.extract_many` /
+:meth:`Wrapper.wrap_many` accept either representation, and
+:meth:`Wrapper.wrap_html_many` / :meth:`Wrapper.extract_html_many` run
+the streaming path end to end from raw HTML strings.  All four take
+``workers=N`` to fan the batch out over a process pool: documents are
+independent, the compiled wrapper (plans plus kernel tables) is pickled
+once per worker, and each worker streams its documents locally -- for
+``wrap_html_many`` only the HTML strings and the flat output trees ever
+cross the process boundary.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.datalog.plan import CompiledProgram, compile_program
 from repro.datalog.program import Program
@@ -32,7 +47,15 @@ from repro.errors import WrapError
 from repro.structures import IndexedStructure, as_indexed
 from repro.trees.node import Node
 from repro.trees.unranked import UnrankedStructure
-from repro.wrap.output import OutputNode, build_output_tree
+from repro.wrap.document import Document
+from repro.wrap.output import (
+    OutputNode,
+    build_output_from_snapshot,
+    build_output_tree,
+)
+
+#: Anything the wrapper can treat as one document.
+DocumentLike = Union[Node, Document, UnrankedStructure, IndexedStructure]
 
 
 class Wrapper:
@@ -56,12 +79,33 @@ class Wrapper:
     >>> [out.to_sexpr() for out in w.wrap_many(
     ...     [parse_sexpr("ul(li)"), parse_sexpr("ul(li, li, li)")])]
     ['result(item)', 'result(item, item, item)']
+
+    The streaming path wraps raw HTML without ever building a tree:
+
+    >>> from repro.wrap.document import Document
+    >>> w.wrap(Document.from_html("<ul><li>a<li>b</ul>")).to_sexpr()
+    'result(item, item)'
+    >>> [out.to_sexpr() for out in w.wrap_html_many(["<ul><li>a</ul>"])]
+    ['result(item)']
     """
 
     def __init__(self):
         self._functions: List[tuple] = []
-        #: Lazily compiled plans, keyed by position in ``self._functions``.
+        #: Lazily compiled plans, keyed by position in ``self._functions``
+        #: (functions registered from the same program object share the
+        #: same plan instance).
         self._compiled: Dict[int, CompiledProgram] = {}
+        #: Elog- translation cache: ``id(program) -> (program, datalog)``.
+        #: The source program is retained in the value so a recycled
+        #: object id can never alias a freed program (the hit is verified
+        #: by identity); dropped on pickling (ids are not stable across
+        #: processes).
+        self._elog_cache: Dict[int, tuple] = {}
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_elog_cache"] = {}
+        return state
 
     # -- registration --------------------------------------------------------
 
@@ -77,11 +121,22 @@ class Wrapper:
         return self
 
     def add_elog(self, name: str, program: ElogProgram, pattern: Optional[str] = None) -> "Wrapper":
-        """Add an extraction function given by an Elog- pattern."""
+        """Add an extraction function given by an Elog- pattern.
+
+        Registering several patterns of the *same* program object shares
+        one translation, one compiled plan, and one evaluation per
+        document.
+        """
         pat = pattern or program.query
         if pat is None:
             raise WrapError("Elog extraction needs a query pattern")
-        self._functions.append(("datalog", name, (elog_to_datalog(program), pat)))
+        cached = self._elog_cache.get(id(program))
+        if cached is not None and cached[0] is program:
+            datalog = cached[1]
+        else:
+            datalog = elog_to_datalog(program)
+            self._elog_cache[id(program)] = (program, datalog)
+        self._functions.append(("datalog", name, (datalog, pat)))
         return self
 
     def add_mso(self, name: str, formula, free_var: str, labels: Sequence[str]) -> "Wrapper":
@@ -108,18 +163,30 @@ class Wrapper:
     def compile(self) -> "Wrapper":
         """Eagerly compile every registered datalog/Elog program.
 
-        Normally compilation happens lazily on first use; call this to move
-        the cost out of the first document (e.g. before timing a batch).
+        Normally compilation happens lazily on first use; call this to
+        move the cost out of the first document (e.g. before timing a
+        batch, or before pickling the wrapper into a worker pool).  The
+        kernel tables and join plans are fully materialized, so workers
+        receive a ready-to-run artifact.
         """
         for index, (kind, _, payload) in enumerate(self._functions):
             if kind == "datalog":
-                self._compiled_plan(index, payload[0])
+                self._compiled_plan(index, payload[0]).prepare()
         return self
 
     def _compiled_plan(self, index: int, program: Program) -> CompiledProgram:
         plan = self._compiled.get(index)
         if plan is None:
-            plan = compile_program(program)
+            # Reuse the plan of any earlier function registered from the
+            # same program object (identity, not equality: programs are
+            # immutable artifacts held by ``self._functions``).
+            for other, (kind, _, payload) in enumerate(self._functions[:index]):
+                if kind == "datalog" and payload[0] is program:
+                    plan = self._compiled.get(other)
+                    if plan is not None:
+                        break
+            if plan is None:
+                plan = compile_program(program)
             self._compiled[index] = plan
         return plan
 
@@ -135,66 +202,202 @@ class Wrapper:
         # (unwrapped) structure their registered signatures promise; only
         # the datalog engine consumes the index wrapper.
         base = structure.base
+        streaming = isinstance(base, Document)
         out: Dict[str, Set[int]] = {}
+        #: One evaluation per distinct compiled plan per document.
+        runs: Dict[int, object] = {}
         for index, (kind, name, payload) in enumerate(self._functions):
             if kind == "datalog":
                 program, pred = payload
-                ids = self._compiled_plan(index, program).run(structure).unary(pred)
+                plan = self._compiled_plan(index, program)
+                result = runs.get(id(plan))
+                if result is None:
+                    result = runs[id(plan)] = plan.run(structure)
+                ids = result.unary(pred)
+            elif streaming:
+                raise WrapError(
+                    f"extraction function {name!r} ({kind}) needs a "
+                    "Node-backed structure; streaming Documents only "
+                    "support datalog/Elog extraction"
+                )
             elif kind == "automaton":
                 ids = payload.select_ids(base)
             else:
                 ids = set(payload(base))
-            out.setdefault(name, set()).update(ids)
+            known = out.get(name)
+            # Merge without mutating ``ids`` (it may be an engine-owned
+            # set): the common single-contribution case stores it as is.
+            out[name] = ids if known is None else known | ids
         return out
 
+    def _runtime(self, document: DocumentLike) -> IndexedStructure:
+        """One shared :class:`IndexedStructure` for any document form."""
+        if isinstance(document, Node):
+            return as_indexed(UnrankedStructure(document))
+        return as_indexed(document)
+
     def extract(
-        self, tree: Node, structure: Optional[UnrankedStructure] = None
+        self,
+        document: DocumentLike,
+        structure: Optional[UnrankedStructure] = None,
     ) -> Dict[str, Set[int]]:
         """Evaluate all extraction functions; node-id sets per name.
 
-        ``structure`` may supply an existing (possibly indexed) structure
-        for ``tree`` so the relational view is not rebuilt.
+        ``document`` may be a parsed :class:`Node` tree or a streaming
+        :class:`Document`; ``structure`` may supply an existing (possibly
+        indexed) structure for the document so the relational view is not
+        rebuilt.
         """
         if structure is None:
-            structure = UnrankedStructure(tree)
-        return self._extract_structure(as_indexed(structure))
+            runtime = self._runtime(document)
+        else:
+            runtime = as_indexed(structure)
+        return self._extract_structure(runtime)
 
-    def extract_many(self, trees: Iterable[Node]) -> List[Dict[str, Set[int]]]:
+    def extract_many(
+        self,
+        documents: Iterable[DocumentLike],
+        workers: Optional[int] = None,
+    ) -> List[Dict[str, Set[int]]]:
         """Batch :meth:`extract`: one shared indexed structure per document,
-        all extraction programs compiled exactly once across the batch."""
+        all extraction programs compiled exactly once across the batch.
+
+        ``workers`` > 1 shards the batch over a process pool (documents
+        are independent; the compiled wrapper is shipped once per worker).
+        """
         self.compile()
+        if _parallel(workers):
+            return self._fanout(_job_extract, list(documents), workers, None)
         return [
-            self._extract_structure(as_indexed(UnrankedStructure(tree)))
-            for tree in trees
+            self._extract_structure(self._runtime(document))
+            for document in documents
         ]
 
-    def wrap(self, tree: Node, root_label: str = "result") -> OutputNode:
+    def wrap(self, document: DocumentLike, root_label: str = "result") -> OutputNode:
         """Wrap a document: extract, relabel, build the output tree."""
-        structure = as_indexed(UnrankedStructure(tree))
-        return self._wrap_structure(tree, structure, root_label)
+        return self._wrap_structure(self._runtime(document), root_label)
 
     def wrap_many(
-        self, trees: Sequence[Node], root_label: str = "result"
+        self,
+        documents: Sequence[DocumentLike],
+        root_label: str = "result",
+        workers: Optional[int] = None,
     ) -> List[OutputNode]:
         """Batch :meth:`wrap` over a stream of documents.
 
         Builds exactly one :class:`repro.structures.IndexedStructure` per
         document and reuses every compiled extraction plan across the whole
-        batch.
+        batch; ``workers`` > 1 fans out over a process pool.
         """
         self.compile()
+        if _parallel(workers):
+            return self._fanout(_job_wrap, list(documents), workers, root_label)
         return [
-            self._wrap_structure(tree, as_indexed(UnrankedStructure(tree)), root_label)
-            for tree in trees
+            self._wrap_structure(self._runtime(document), root_label)
+            for document in documents
         ]
 
+    # -- streaming HTML batches ----------------------------------------------
+
+    def wrap_html_many(
+        self,
+        pages: Sequence[str],
+        root_label: str = "result",
+        workers: Optional[int] = None,
+    ) -> List[OutputNode]:
+        """Wrap raw HTML pages end to end on the streaming path.
+
+        Each page goes HTML string -> tokenizer events -> snapshot columns
+        -> propagation kernel -> output tree, with **zero Node objects**
+        anywhere.  With ``workers=N`` the pages are sharded over a process
+        pool: only the HTML strings travel to the workers and only the
+        flat output trees travel back.
+        """
+        self.compile()
+        if _parallel(workers):
+            return self._fanout(_job_wrap_html, list(pages), workers, root_label)
+        return [
+            self._wrap_structure(as_indexed(Document.from_html(page)), root_label)
+            for page in pages
+        ]
+
+    def extract_html_many(
+        self,
+        pages: Sequence[str],
+        workers: Optional[int] = None,
+    ) -> List[Dict[str, Set[int]]]:
+        """Batch extraction from raw HTML pages on the streaming path."""
+        self.compile()
+        if _parallel(workers):
+            return self._fanout(_job_extract_html, list(pages), workers, None)
+        return [
+            self._extract_structure(as_indexed(Document.from_html(page)))
+            for page in pages
+        ]
+
+    # -- internals -----------------------------------------------------------
+
     def _wrap_structure(
-        self, tree: Node, structure: IndexedStructure, root_label: str
+        self, structure: IndexedStructure, root_label: str
     ) -> OutputNode:
         results = self._extract_structure(structure)
-        assignment: Dict[int, str] = {}
+        base = structure.base
+        if isinstance(base, Document):
+            assignment: Dict[int, str] = {}
+            for name in self.names():
+                for ident in results.get(name, ()):
+                    assignment.setdefault(ident, name)
+            return build_output_from_snapshot(
+                base.snapshot(), assignment, root_label=root_label
+            )
+        node_assignment: Dict[int, str] = {}
         for name in self.names():
             for ident in results.get(name, ()):
-                node = structure.node(ident)
-                assignment.setdefault(id(node), name)
-        return build_output_tree(tree, assignment, root_label=root_label)
+                node_assignment.setdefault(id(structure.node(ident)), name)
+        return build_output_tree(
+            structure.root_node, node_assignment, root_label=root_label
+        )
+
+    def _fanout(self, job, items: list, workers: int, root_label: Optional[str]) -> list:
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunksize = max(1, len(items) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_init,
+            initargs=(self, root_label),
+        ) as pool:
+            return list(pool.map(job, items, chunksize=chunksize))
+
+
+def _parallel(workers: Optional[int]) -> bool:
+    return workers is not None and workers > 1
+
+
+#: Per-worker state: the unpickled wrapper and the batch's root label.
+_POOL_STATE: Optional[tuple] = None
+
+
+def _pool_init(wrapper: Wrapper, root_label: Optional[str]) -> None:
+    global _POOL_STATE
+    _POOL_STATE = (wrapper, root_label)
+
+
+def _job_wrap_html(page: str) -> OutputNode:
+    wrapper, root_label = _POOL_STATE
+    return wrapper.wrap_html_many([page], root_label=root_label)[0]
+
+
+def _job_extract_html(page: str) -> Dict[str, Set[int]]:
+    wrapper, _ = _POOL_STATE
+    return wrapper.extract_html_many([page])[0]
+
+
+def _job_wrap(document: DocumentLike) -> OutputNode:
+    wrapper, root_label = _POOL_STATE
+    return wrapper.wrap(document, root_label=root_label)
+
+
+def _job_extract(document: DocumentLike) -> Dict[str, Set[int]]:
+    wrapper, _ = _POOL_STATE
+    return wrapper.extract(document)

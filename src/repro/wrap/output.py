@@ -5,6 +5,14 @@ output tree keeps exactly the nodes that received a new label, connected
 through the transitive closure of the input edge relation (i.e. each kept
 node's parent is its nearest kept ancestor), preserving document order.
 A synthetic ``result`` root collects top-level matches.
+
+Two equivalent builders: :func:`build_output_tree` walks a
+:class:`~repro.trees.node.Node` tree, while
+:func:`build_output_from_snapshot` applies the same nearest-kept-ancestor
+rule over the flat columns of a
+:class:`~repro.trees.snapshot.TreeSnapshot` (the streaming pipeline's
+path -- no ``Node`` is ever touched, and text capture reads the
+snapshot's text column).
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.trees.node import Node
+from repro.trees.snapshot import TreeSnapshot
 
 
 class OutputNode:
@@ -24,7 +33,11 @@ class OutputNode:
         relabeling).
     source:
         The originating input :class:`Node` (``None`` for the synthetic
-        root).
+        root and for snapshot-built outputs).
+    source_id:
+        The originating node's document-order identifier (``None`` for
+        the synthetic root; always set by the snapshot builder, set by
+        the tree builder only when the caller supplies ids).
     children:
         Output children in document order.
     text:
@@ -32,9 +45,17 @@ class OutputNode:
         tree carries text (HTML wrapping).
     """
 
-    def __init__(self, label: str, source: Optional[Node] = None):
+    __slots__ = ("label", "source", "source_id", "children", "text")
+
+    def __init__(
+        self,
+        label: str,
+        source: Optional[Node] = None,
+        source_id: Optional[int] = None,
+    ):
         self.label = label
         self.source = source
+        self.source_id = source_id
         self.children: List[OutputNode] = []
         self.text: Optional[str] = None
 
@@ -106,4 +127,70 @@ def build_output_tree(
                 out_node.text = text
 
     walk(root, out_root)
+    return out_root
+
+
+def build_output_from_snapshot(
+    snapshot: TreeSnapshot,
+    assignment: Dict[int, str],
+    root_label: str = "result",
+    capture_text: bool = True,
+) -> OutputNode:
+    """Build the wrapped output tree from snapshot columns (no ``Node``).
+
+    The exact analogue of :func:`build_output_tree` over a columnar
+    document: ``assignment`` maps document-order node identifiers to new
+    labels, kept nodes attach to their nearest kept ancestor in document
+    order, and leaf output nodes capture the concatenated text of their
+    source subtree from the snapshot's text column.
+
+    >>> from repro.trees.stream import html_snapshot
+    >>> snap = html_snapshot("<ul><li>a</li><li>b</li></ul>")
+    >>> out = build_output_from_snapshot(snap, {1: "item", 3: "item"})
+    >>> out.to_sexpr()
+    'result(item, item)'
+    >>> [c.text for c in out.children]
+    ['a', 'b']
+    """
+    out_root = OutputNode(root_label)
+    if not snapshot.size:
+        return out_root
+    parent = snapshot.parent
+    # Snapshot ids are assigned in document (pre-) order by every builder,
+    # so ascending kept ids visit parents before children and siblings
+    # left to right: appending each kept node to its nearest kept
+    # ancestor's output (computed by walking ``parent`` with memoization,
+    # O(kept + touched ancestors) rather than O(n)) reproduces the
+    # recursive Node walk exactly.
+    kept = sorted(assignment)
+    created: List[Tuple[OutputNode, int]] = []
+    #: node id -> its output node (kept) or the output node of its
+    #: nearest kept ancestor (unkept, memoized while walking up).
+    out_of: Dict[int, OutputNode] = {}
+    for v in kept:
+        ancestor_out = None
+        path: List[int] = []
+        u = parent[v]
+        while u != -1:
+            known = out_of.get(u)
+            if known is not None:
+                ancestor_out = known
+                break
+            path.append(u)
+            u = parent[u]
+        if ancestor_out is None:
+            ancestor_out = out_root
+        out_node = OutputNode(assignment[v], source_id=v)
+        ancestor_out.children.append(out_node)
+        created.append((out_node, v))
+        out_of[v] = out_node
+        for u in path:
+            out_of[u] = ancestor_out
+    if capture_text and snapshot.texts:
+        leaves = [(out_node, v) for out_node, v in created if not out_node.children]
+        for (out_node, _), text in zip(
+            leaves, snapshot.node_texts([v for _, v in leaves])
+        ):
+            if text:
+                out_node.text = text
     return out_root

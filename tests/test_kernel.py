@@ -268,13 +268,86 @@ class TestKernelRoutingAndFallback:
         assert on_generic.method != "kernel"
         assert on_tree.query_result() == on_generic.query_result() == {0, 1, 2, 3}
 
-    def test_constants_fall_back(self):
+    def test_body_constants_anchor_instead_of_falling_back(self):
+        # Satellite (PR 3): body constants pin a slot to one node and the
+        # rule is anchored there, staying inside the kernel fragment.
         program = parse_program("p(x) :- firstchild(0, x).", query="p")
+        structure = UnrankedStructure(parse_sexpr("a(b, c)"))
+        kernel = compile_kernel(program)
+        assert kernel is not None
+        result = evaluate(program, structure)
+        assert result.method == "kernel"
+        assert result.query_result() == {1}
+
+    def test_head_constants_still_fall_back(self):
+        program = parse_program("p(0) :- label_a(x).", query="p")
         structure = UnrankedStructure(parse_sexpr("a(b, c)"))
         assert compile_kernel(program) is None
         result = evaluate(program, structure)
         assert result.method != "kernel"
-        assert result.query_result() == {1}
+        assert result.relations["p"] == {(0,)}
+
+    def test_out_of_domain_constants_never_fire(self):
+        program = parse_program("p(x) :- firstchild(9, x).", query="p")
+        structure = UnrankedStructure(parse_sexpr("a(b, c)"))
+        result = evaluate(program, structure)
+        assert result.method == "kernel"
+        assert result.query_result() == set()
+
+    def test_constant_programs_match_seminaive(self):
+        rng = random.Random(42)
+        shapes = [
+            "q{i}(x) :- {s}(x), firstchild({c}, x).",
+            "q{i}(x) :- {s}({c}), child({c}, x).",
+            "q{i}(x) :- {s}({c}), label_b(x).",
+            "q{i}(x) :- {s}(x), {o}({c}).",
+            "q{i}(x) :- {s}(x), child(x, y), nextsibling(y, {c}).",
+            "q{i}(x) :- label_a({c}), {s}(x).",
+            "q{i}(y) :- {s}(x), child(x, y).",
+        ]
+        hits = 0
+        for _ in range(60):
+            rules = ["q0(x) :- label_a(x)."]
+            preds = ["q0"]
+            for i in range(1, rng.randint(2, 6)):
+                rules.append(
+                    rng.choice(shapes).format(
+                        i=i,
+                        s=rng.choice(preds),
+                        o=rng.choice(preds),
+                        c=rng.randint(0, 8),
+                    )
+                )
+                preds.append(f"q{i}")
+            program = parse_program("\n".join(rules), query=preds[-1])
+            tree = random_tree(rng, rng.randint(1, 14), labels=("a", "b"))
+            structure = UnrankedStructure(tree)
+            reference = evaluate_seminaive(program, structure)
+            kernel = compile_kernel(program)
+            assert kernel is not None, program
+            result = kernel.try_run(structure)
+            assert result is not None
+            hits += 1
+            assert result == reference, f"{program}\non {tree}"
+        assert hits == 60
+
+    def test_constant_gated_trigger_blocks(self):
+        # ``seen(1)`` in a body: the rule replays from its anchor exactly
+        # when ``seen`` fires at node 1 (the gate), not on every fact.
+        program = parse_program(
+            """
+            seen(x) :- label_b(x).
+            p(x) :- seen(1), firstchild(x, y), label_b(y).
+            """,
+            query="p",
+        )
+        kernel = compile_kernel(program)
+        assert kernel is not None
+        rng = random.Random(7)
+        for _ in range(25):
+            tree = random_tree(rng, rng.randint(1, 12), labels=("a", "b"))
+            structure = UnrankedStructure(tree)
+            assert kernel.run(structure) == evaluate_seminaive(program, structure)
 
     def test_explicit_kernel_method_raises_when_inapplicable(self):
         program = parse_program("p(x) :- label_a(x).", query="p")

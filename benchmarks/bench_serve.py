@@ -1,0 +1,317 @@
+"""E-SERVE: serving throughput -- micro-batched vs naive, cold vs warm cache.
+
+Measures the :mod:`repro.serve` stack (shard executor + micro-batcher +
+content-hash cache) on small catalog pages, the workload micro-batching
+exists for: each request is cheap, so the per-request process-pool round
+trip (pickling, queue hand-off, worker wakeup) dominates unless it is
+amortized across a batch.
+
+Three measurements, written to ``benchmarks/BENCH_serve.json``:
+
+* **naive vs batched throughput** at concurrency 1 / 8 / 32, on two
+  request streams.  The naive path submits one executor task per request
+  (one request = one pickled page = **one fixpoint**, whether or not the
+  same page was just served); the batched path sends the same requests
+  through the :class:`~repro.serve.batcher.MicroBatcher` (flush on size
+  or a 2 ms deadline), which coalesces concurrent requests into one
+  submission per shard *and dedupes identical documents inside the
+  batch* by content hash.  The ``hot`` stream draws its requests from a
+  small set of hot pages (the workload micro-batching exists for --
+  many users asking for the same live pages at once); the ``distinct``
+  stream has no repeats and isolates the pure coalescing win.  Caching
+  is *disabled* in both so the batcher itself is what is measured.  At
+  concurrency 1 batching cannot help (the row records the deadline cost
+  honestly); at concurrency >= 8 the acceptance bar is >= 2x on the hot
+  stream (``speedup_batched``).
+* **cold vs warm cache**: the same distinct documents twice through a
+  cache-enabled batcher; the warm pass answers from the content-hash LRU
+  without tokenizing or running a fixpoint (bar: >= 10x).
+* **HTTP end to end**: a :class:`~repro.serve.server.ServerThread` on an
+  ephemeral port, hammered with keep-alive connections -- the sanity row
+  showing the full stack serving real sockets.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py           # full sweep
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke   # CI subset
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import http.client
+import json
+import pathlib
+import sys
+import time
+
+from repro.serve import (
+    ExtractionServer,
+    MicroBatcher,
+    ResultCache,
+    ServeMetrics,
+    ServerThread,
+    ShardExecutor,
+    WrapperRegistry,
+    content_hash,
+)
+from repro.workloads import CATALOG_WRAPPER, catalog_page
+
+#: Small pages: the micro-batching sweet spot (request overhead-bound).
+PAGE_ITEMS = 6
+
+#: Hot-stream pool size: requests draw uniformly from this many pages.
+HOT_PAGES = 6
+
+
+def make_pages(count: int) -> list:
+    return [catalog_page(seed=1000 + i, items=PAGE_ITEMS) for i in range(count)]
+
+
+def make_hot_stream(requests: int) -> list:
+    """A request stream over a small pool of hot pages (seeded)."""
+    import random
+
+    rng = random.Random(20260729)
+    pool = make_pages(HOT_PAGES)
+    return [rng.choice(pool) for _ in range(requests)]
+
+
+def make_registry() -> WrapperRegistry:
+    registry = WrapperRegistry()
+    registry.register(
+        "catalog", CATALOG_WRAPPER, kind="elog",
+        patterns=["record", "name", "price"],
+    )
+    return registry
+
+
+async def _gather_limited(coroutines, concurrency: int):
+    semaphore = asyncio.Semaphore(concurrency)
+
+    async def limited(coroutine):
+        async with semaphore:
+            return await coroutine
+
+    return await asyncio.gather(*(limited(c) for c in coroutines))
+
+
+async def run_naive(executor, entry, pages, concurrency: int):
+    """One-request-one-fixpoint: a dedicated executor submission each."""
+
+    async def one(page):
+        shard = executor.shard_for(content_hash(page))
+        future = executor.submit(shard, entry.cache_key, [page])
+        return (await asyncio.wrap_future(future))[0]
+
+    start = time.perf_counter()
+    results = await _gather_limited([one(p) for p in pages], concurrency)
+    return time.perf_counter() - start, results
+
+
+async def run_batched(batcher, entry, pages, concurrency: int):
+    """The same requests through the micro-batching queue."""
+
+    async def one(page):
+        return await batcher.submit(entry, page)
+
+    start = time.perf_counter()
+    results = await _gather_limited([one(p) for p in pages], concurrency)
+    return time.perf_counter() - start, results
+
+
+async def bench_stack(requests: int, repeat: int, shards: int):
+    registry = make_registry()
+    entry = registry.get("catalog")
+    metrics = ServeMetrics()
+    executor = ShardExecutor(shards=shards)
+    try:
+        for future in executor.ensure_installed(entry.cache_key, entry.wrapper):
+            await asyncio.wrap_future(future)
+        distinct_pages = make_pages(requests)
+        hot_pages = make_hot_stream(requests)
+        # Warm the worker (imports, first fixpoint) outside the timings.
+        await run_naive(executor, entry, distinct_pages[:2], 1)
+
+        rows = []
+        for concurrency in (1, 8, 32):
+            row = {"concurrency": concurrency, "requests": requests}
+            for stream_name, pages in (
+                ("hot", hot_pages),
+                ("distinct", distinct_pages),
+            ):
+                batcher = MicroBatcher(
+                    executor, ResultCache(0), metrics,
+                    max_batch=max(2, min(concurrency, 32)),
+                    max_delay=0.002,
+                    max_pending=4 * requests,
+                )
+                naive_s = batched_s = float("inf")
+                reference = batched_out = None
+                for _ in range(repeat):
+                    elapsed, out = await run_naive(
+                        executor, entry, pages, concurrency
+                    )
+                    naive_s = min(naive_s, elapsed)
+                    reference = out
+                    elapsed, out = await run_batched(
+                        batcher, entry, pages, concurrency
+                    )
+                    batched_s = min(batched_s, elapsed)
+                    batched_out = out
+                if batched_out != reference:
+                    raise SystemExit(
+                        "micro-batched results diverge from the naive path; "
+                        "refusing to report timings"
+                    )
+                speedup = naive_s / batched_s
+                suffix = "" if stream_name == "hot" else "_distinct"
+                row.update(
+                    {
+                        f"naive_s{suffix}": naive_s,
+                        f"batched_s{suffix}": batched_s,
+                        f"naive_rps{suffix}": round(requests / naive_s, 1),
+                        f"batched_rps{suffix}": round(requests / batched_s, 1),
+                        f"speedup_batched{suffix}": round(speedup, 2),
+                    }
+                )
+                print(
+                    f"    c={concurrency:>2} {stream_name:>8}  "
+                    f"naive {requests / naive_s:8.1f} req/s   "
+                    f"batched {requests / batched_s:8.1f} req/s   "
+                    f"speedup={speedup:5.2f}x"
+                )
+            rows.append(row)
+
+        # Cold vs warm cache at concurrency 8.
+        cached_batcher = MicroBatcher(
+            executor, ResultCache(4 * requests), metrics,
+            max_batch=8, max_delay=0.002, max_pending=4 * requests,
+        )
+        cold_s, cold_out = await run_batched(cached_batcher, entry, distinct_pages, 8)
+        warm_s = float("inf")
+        for _ in range(max(2, repeat)):
+            elapsed, warm_out = await run_batched(
+                cached_batcher, entry, distinct_pages, 8
+            )
+            warm_s = min(warm_s, elapsed)
+            if warm_out != cold_out:
+                raise SystemExit("warm-cache results diverge; refusing to report")
+        cache_row = {
+            "documents": requests,
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "cold_rps": round(requests / cold_s, 1),
+            "warm_rps": round(requests / warm_s, 1),
+            "speedup_warm_cache": round(cold_s / warm_s, 2),
+        }
+        print(
+            f"    cache  cold {requests / cold_s:8.1f} req/s   "
+            f"warm {requests / warm_s:8.1f} req/s   "
+            f"speedup={cold_s / warm_s:5.2f}x"
+        )
+        return rows, cache_row
+    finally:
+        executor.close()
+
+
+def bench_http(requests: int, concurrency: int, shards: int):
+    """Full-stack sanity: real sockets, keep-alive clients, threads."""
+    server = ExtractionServer(
+        make_registry(), port=0, shards=shards,
+        max_batch=concurrency, max_delay=0.002, max_pending=4 * requests,
+    )
+    thread = ServerThread(server)
+    host, port = thread.start()
+    try:
+        pages = make_pages(requests)
+
+        def client(worker_pages):
+            connection = http.client.HTTPConnection(host, port, timeout=60)
+            try:
+                for page in worker_pages:
+                    connection.request(
+                        "POST", "/extract/catalog", json.dumps({"html": page})
+                    )
+                    response = connection.getresponse()
+                    body = json.loads(response.read())
+                    assert response.status == 200, body
+            finally:
+                connection.close()
+
+        chunks = [pages[i::concurrency] for i in range(concurrency)]
+        start = time.perf_counter()
+        with concurrent.futures.ThreadPoolExecutor(concurrency) as pool:
+            list(pool.map(client, chunks))
+        elapsed = time.perf_counter() - start
+        snapshot = server.metrics.snapshot()
+        row = {
+            "requests": requests,
+            "concurrency": concurrency,
+            "elapsed_s": elapsed,
+            "rps": round(requests / elapsed, 1),
+            "p50_ms": snapshot["latency"].get("p50_ms"),
+            "p95_ms": snapshot["latency"].get("p95_ms"),
+            "mean_batch": snapshot["batches"]["mean_size"],
+        }
+        print(
+            f"    http   {requests / elapsed:8.1f} req/s end to end at c={concurrency} "
+            f"(p50={row['p50_ms']} ms, p95={row['p95_ms']} ms, "
+            f"mean batch={row['mean_batch']})"
+        )
+        return row
+    finally:
+        thread.stop()
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    requests = 48 if smoke else 64
+    repeat = 3 if smoke else 5
+    shards = 1  # one long-lived process shard: the production configuration
+    print("== E-SERVE: micro-batched serving vs naive per-request path ==")
+    rows, cache_row = asyncio.run(bench_stack(requests, repeat, shards))
+    http_row = bench_http(requests, 8, shards)
+    payload = {
+        "experiment": "serve_micro_batching",
+        "workload": (
+            f"catalog pages (items={PAGE_ITEMS}); 'hot' stream = {requests} "
+            f"requests drawn from {HOT_PAGES} hot pages, 'distinct' stream = "
+            f"{requests} unique pages; one process shard"
+        ),
+        "engine": {
+            "naive": (
+                "one ShardExecutor submission per request "
+                "(1 page, 1 fixpoint, no dedup)"
+            ),
+            "batched": (
+                "MicroBatcher coalescing + in-batch content-hash dedup "
+                "(flush on size or 2ms deadline, cache off)"
+            ),
+            "cache": "content-hash LRU in front of the batcher",
+            "http": "ExtractionServer (asyncio streams) end to end",
+        },
+        "smoke": smoke,
+        "rows": rows,
+        "cache": cache_row,
+        "http": http_row,
+    }
+    out_path = pathlib.Path(__file__).resolve().parent / "BENCH_serve.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"    wrote {out_path}")
+    batched_ok = all(
+        row["speedup_batched"] >= 2.0 for row in rows if row["concurrency"] >= 8
+    )
+    cache_ok = cache_row["speedup_warm_cache"] >= 10.0
+    if not (batched_ok and cache_ok):
+        print(
+            "    WARNING: below acceptance bars "
+            f"(batched>=2x at c>=8: {batched_ok}, warm>=10x: {cache_ok})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

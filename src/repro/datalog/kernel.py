@@ -50,21 +50,33 @@ seminaive == compiled-plan on randomized programs and trees).
 
 from __future__ import annotations
 
+import itertools
 import re
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.datalog.analysis import split_disconnected
 from repro.datalog.program import Program, Rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Atom, Constant, Variable
 from repro.errors import DatalogError
 from repro.structures import Structure
 
 Relations = Dict[str, Set[Tuple[int, ...]]]
 
-#: Binary relation names the kernel can traverse.  ``child`` resolves only
-#: over ``tau_ur`` (backward-functional, forward by enumeration) and
-#: ``child<k>`` only over ``tau_rk``; the snapshot gates this at bind time.
+#: Module switch for the vectorized seed-rule sweeps (byte-mask batch
+#: conjunctions instead of the scalar per-node loop).  The scalar path is
+#: kept as the fallback for blocks the vector form cannot express; tests
+#: flip this flag to assert exact parity between the two.
+VECTORIZE_SWEEPS = True
+
+#: Matches every node whose byte survived the mask conjunction.
+_NONZERO = re.compile(rb"[^\x00]")
+
+#: Binary relation names the kernel can traverse.  Generic ``child`` is
+#: backward-functional (parent) with forward traversal by enumeration over
+#: *both* schemata (over ``tau_rk`` it is the union of the ``child_k``
+#: bijections); ``child<k>`` and the ``tau_ur`` binaries resolve only over
+#: their own schema -- the snapshot gates all of this at bind time.
 _BINARY_NAME = re.compile(r"^(firstchild|nextsibling|lastchild|child\d*)$")
 
 # Runtime opcodes (resolved from the symbolic compile-time ops at bind time).
@@ -143,12 +155,67 @@ class _Block:
         )
 
 
+class _Lowering:
+    """One complete lowering of the source program along one route.
+
+    A :class:`KernelProgram` may hold several lowerings of the *same*
+    program (direct Theorem 4.2, TMNF over ``tau_ur``, TMNF over
+    ``tau_rk``); binding picks the first one whose relations the
+    document's snapshot actually supplies.
+    """
+
+    __slots__ = (
+        "lowered",
+        "pred_index",
+        "npreds",
+        "sweeps",
+        "triggers",
+        "outputs",
+        "route",
+        "max_branches",
+        "superlinear",
+        "required_rank",
+    )
+
+    def __init__(
+        self,
+        lowered: Program,
+        pred_index: Dict[str, int],
+        sweeps: List[_Block],
+        triggers: List[List[_Block]],
+        outputs: List[Tuple[str, int, int]],
+        route: str,
+    ):
+        self.lowered = lowered
+        self.pred_index = pred_index
+        self.npreds = len(pred_index)
+        self.sweeps = sweeps
+        self.triggers = triggers
+        self.outputs = outputs
+        #: ``"direct"`` (Theorem 4.2 lowering), ``"tmnf"`` (Theorem 5.2
+        #: over ``tau_ur``) or ``"tmnf-ranked"`` (Lemma 5.4 expansion +
+        #: Theorem 5.2 over ``tau_rk``).
+        self.route = route
+        blocks = sweeps + [b for group in triggers for b in group]
+        self.max_branches = max((b.branches for b in blocks), default=0)
+        self.superlinear = any(b.superlinear for b in blocks)
+        #: For ranked-TMNF lowerings: the exact ``max_rank`` the ``child``
+        #: expansion was compiled for.  Binding a snapshot of any other
+        #: rank would be unsound (a rank-``K+1`` tree has children the
+        #: ``child1..childK`` expansion never visits).
+        self.required_rank: Optional[int] = None
+
+
 class KernelProgram:
     """A monadic program lowered to numeric propagation tables.
 
     Build with :func:`compile_kernel` (returns ``None`` when the program is
     outside the kernel fragment); evaluate with :meth:`run`.  The artifact
-    is program-only and reusable across documents.
+    is program-only and reusable across documents.  It holds one or more
+    alternative :class:`_Lowering` variants -- binding a document selects
+    the first variant whose relations the snapshot supplies, preferring
+    linear lowerings, then a lazily compiled ranked-TMNF variant for
+    ranked snapshots, then any superlinear last resort.
 
     Examples
     --------
@@ -162,29 +229,25 @@ class KernelProgram:
     [(0,), (1,)]
     """
 
-    def __init__(
-        self,
-        source: Program,
-        lowered: Program,
-        pred_index: Dict[str, int],
-        sweeps: List[_Block],
-        triggers: List[List[_Block]],
-        outputs: List[Tuple[str, int, int]],
-        route: str,
-    ):
+    def __init__(self, source: Program, variants: List[_Lowering]):
+        if not variants:
+            raise DatalogError("KernelProgram needs at least one lowering")
         self.source = source
-        self.lowered = lowered
-        self.pred_index = pred_index
-        self.npreds = len(pred_index)
-        self.sweeps = sweeps
-        self.triggers = triggers
-        self.outputs = outputs
-        #: ``"direct"`` (Theorem 4.2 lowering) or ``"tmnf"`` (Theorem 5.2
-        #: normalization first).
-        self.route = route
-        blocks = sweeps + [b for group in triggers for b in group]
-        self.max_branches = max((b.branches for b in blocks), default=0)
-        self.superlinear = any(b.superlinear for b in blocks)
+        self._variants = list(variants)
+        #: Lazily compiled ranked-TMNF lowerings, keyed by snapshot
+        #: ``max_rank`` (``None`` where the route does not apply).
+        self._ranked_cache: Dict[int, Optional[_Lowering]] = {}
+        # Introspection mirrors of the primary (preferred) lowering.
+        primary = self._variants[0]
+        self.lowered = primary.lowered
+        self.pred_index = primary.pred_index
+        self.npreds = primary.npreds
+        self.sweeps = primary.sweeps
+        self.triggers = primary.triggers
+        self.outputs = primary.outputs
+        self.route = primary.route
+        self.max_branches = primary.max_branches
+        self.superlinear = primary.superlinear
 
     def applicable(self, structure: Structure) -> bool:
         """Whether this kernel can evaluate over ``structure``."""
@@ -241,14 +304,35 @@ class KernelProgram:
                 ops.append((_GBIT, pred, 0, 0))
         return tuple(ops)
 
-    def _bind(self, structure: Structure):
-        """Resolve symbolic ops against a document; ``None`` if impossible."""
-        build = getattr(structure, "snapshot", None)
-        if build is None:
+    @staticmethod
+    def _sweep_vector(block: _Block, ops, snapshot):
+        """Byte masks whose conjunction *is* this sweep, or ``None``.
+
+        A sweep block is vectorizable when it is a pure unary seed rule:
+        the head is derived at the anchored slot itself and every residual
+        check is a unary byte-mask test on that slot.  The anchor relation
+        contributes its own mask (``"*"`` contributes nothing -- it is the
+        full domain).  Constant-pinned or traversing blocks fall back to
+        the scalar loop.
+        """
+        if block.head_slot < 0 or block.head_slot != block.start:
             return None
-        snapshot = build()
-        if snapshot is None:
-            return None
+        masks = []
+        if block.anchor != "*":
+            if block.anchor is None or block.anchor.startswith("@const:"):
+                return None
+            mask = snapshot.unary_mask(block.anchor)
+            if mask is None:
+                return None
+            masks.append(mask)
+        for op in ops:
+            if op[0] != _UBIT or op[2] != block.start:
+                return None
+            masks.append(op[1])
+        return tuple(masks) if masks else None
+
+    def _bind_variant(self, variant: _Lowering, snapshot):
+        """Resolve one lowering's symbolic ops; ``None`` if impossible."""
 
         def anchor_nodes(block: _Block):
             if block.anchor == "*":
@@ -260,17 +344,26 @@ class KernelProgram:
             return nodes if nodes is not None else None
 
         bound_sweeps = []
-        for block in self.sweeps:
+        for block in variant.sweeps:
             ops = self._bind_ops(block, snapshot)
             anchor = anchor_nodes(block)
             if ops is None or anchor is None:
                 return None
             vals = [0] * max(block.nslots, 1)
+            vector = self._sweep_vector(block, ops, snapshot)
             bound_sweeps.append(
-                (anchor, block.start, ops, block.head_pred, block.head_slot, vals)
+                (
+                    anchor,
+                    block.start,
+                    ops,
+                    block.head_pred,
+                    block.head_slot,
+                    vals,
+                    vector,
+                )
             )
         bound_triggers: List[List[tuple]] = []
-        for group in self.triggers:
+        for group in variant.triggers:
             rows = []
             for block in group:
                 ops = self._bind_ops(block, snapshot)
@@ -294,7 +387,81 @@ class KernelProgram:
                     )
                 )
             bound_triggers.append(rows)
-        return snapshot, bound_sweeps, bound_triggers
+        return variant, snapshot, bound_sweeps, bound_triggers
+
+    def _ranked_variant(self, max_rank: int) -> Optional[_Lowering]:
+        """The Lemma 5.4 + Theorem 5.2 lowering for rank-``K`` snapshots.
+
+        Compiled lazily the first time a ranked snapshot of this rank
+        fails to bind the static lowerings: generic ``child`` atoms are
+        expanded into the ``child1 | ... | childK`` disjunction, the
+        result is normalized into TMNF over the *ranked* signature, and
+        the TMNF output -- whose binaries are all bidirectionally
+        functional partial bijections -- re-lowers with zero branch steps.
+        Cached per rank (including failures).
+        """
+        if max_rank in self._ranked_cache:
+            return self._ranked_cache[max_rank]
+        variant: Optional[_Lowering] = None
+        expanded = _expand_generic_child(self.source, max_rank)
+        if expanded is not None:
+            from repro.errors import TMNFError
+
+            try:
+                from repro.tmnf.pipeline import to_tmnf
+
+                normalized = to_tmnf(
+                    expanded, signature="ranked", max_rank=max_rank
+                ).program
+                lowering = _lower(
+                    self.source, split_disconnected(normalized), "tmnf-ranked"
+                )
+            except (TMNFError, DatalogError):
+                lowering = None
+            if lowering is not None and lowering.max_branches == 0:
+                lowering.required_rank = max_rank
+                variant = lowering
+        self._ranked_cache[max_rank] = variant
+        return variant
+
+    def _bind(self, structure: Structure):
+        """Resolve symbolic ops against a document; ``None`` if impossible.
+
+        Tries the static lowerings in preference order (linear ones
+        first); when none binds and the snapshot is ranked, compiles and
+        tries the ranked-TMNF variant before falling back to any
+        superlinear static lowering.
+        """
+        build = getattr(structure, "snapshot", None)
+        if build is None:
+            return None
+        snapshot = build()
+        if snapshot is None:
+            return None
+
+        def try_variants(variants):
+            for variant in variants:
+                if variant.required_rank is not None and (
+                    snapshot.schema != "ranked"
+                    or snapshot.max_rank != variant.required_rank
+                ):
+                    continue
+                bound = self._bind_variant(variant, snapshot)
+                if bound is not None:
+                    return bound
+            return None
+
+        fast = [v for v in self._variants if not v.superlinear]
+        bound = try_variants(fast)
+        if bound is not None:
+            return bound
+        if snapshot.schema == "ranked" and snapshot.max_rank >= 1:
+            ranked = self._ranked_variant(snapshot.max_rank)
+            if ranked is not None:
+                bound = try_variants([ranked])
+                if bound is not None:
+                    return bound
+        return try_variants([v for v in self._variants if v.superlinear])
 
     # -- evaluation --------------------------------------------------------
 
@@ -328,10 +495,11 @@ class KernelProgram:
         return self._run_bound(bound)
 
     def _run_bound(self, bound) -> Tuple[Relations, Dict[str, Set[int]]]:
-        snapshot, sweeps, triggers = bound
-        P = self.npreds
+        variant, snapshot, sweeps, triggers = bound
+        P = variant.npreds
+        outputs = variant.outputs
         relations: Relations = {
-            name: set() for name, _, _ in self.outputs
+            name: set() for name, _, _ in outputs
         }
         if P == 0:
             return relations, {}
@@ -345,7 +513,7 @@ class KernelProgram:
         # Node lists per output predicate id (helpers collect nothing).
         out_by_pred: List[Optional[List[int]]] = [None] * P
         out_lists: List[Tuple[str, List[int]]] = []
-        for name, pred, arity in self.outputs:
+        for name, pred, arity in outputs:
             if pred >= 0 and arity == 1:
                 out_by_pred[pred] = collected = []
                 out_lists.append((name, collected))
@@ -407,7 +575,35 @@ class KernelProgram:
                     if needs_push[head_pred]:
                         stack.append(-head_pred - 1)
 
-        for anchor, start, ops, head_pred, head_slot, vals in sweeps:
+        vectorize = VECTORIZE_SWEEPS
+        for anchor, start, ops, head_pred, head_slot, vals, vector in sweeps:
+            if vector is not None and vectorize:
+                # Vectorized seed enumeration: the whole sweep is a
+                # conjunction of unary byte masks, evaluated as one big
+                # integer AND (C speed) with surviving node ids recovered
+                # by a regex scan over the result bytes -- the tight
+                # per-node Python loop never runs.
+                combined = int.from_bytes(memoryview(vector[0]), "little")
+                for mask in vector[1:]:
+                    if not combined:
+                        break
+                    combined &= int.from_bytes(memoryview(mask), "little")
+                if not combined:
+                    continue
+                bit = 1 << head_pred
+                push = needs_push[head_pred]
+                collected = out_by_pred[head_pred]
+                survivors = combined.to_bytes(domain_size, "little")
+                for hit in _NONZERO.finditer(survivors):
+                    v = hit.start()
+                    m = masks[v]
+                    if not m & bit:
+                        masks[v] = m | bit
+                        if push:
+                            stack.append(v * P + head_pred)
+                        if collected is not None:
+                            collected.append(v)
+                continue
             nops = len(ops)
             for v in anchor:
                 vals[start] = v
@@ -445,7 +641,7 @@ class KernelProgram:
             unary_sets[name] = ids = set(collected)
             relations[name] = {(v,) for v in ids}
         gmask = gmask_cell[0]
-        for name, pred, arity in self.outputs:
+        for name, pred, arity in outputs:
             if pred >= 0 and arity == 0 and (gmask >> pred) & 1:
                 relations[name] = {()}
         return relations, unary_sets
@@ -733,7 +929,7 @@ def _pred_arities(program: Program) -> Optional[Dict[str, int]]:
     return arities
 
 
-def _lower(source: Program, lowered: Program, route: str) -> Optional[KernelProgram]:
+def _lower(source: Program, lowered: Program, route: str) -> Optional[_Lowering]:
     """Lower a connected monadic program into kernel tables."""
     arities = _pred_arities(lowered)
     if arities is None:
@@ -787,7 +983,7 @@ def _lower(source: Program, lowered: Program, route: str) -> Optional[KernelProg
         outputs.append(
             (name, pred_index.get(name, -1), source_arities.get(name, 1))
         )
-    return KernelProgram(source, lowered, pred_index, sweeps, triggers, outputs, route)
+    return _Lowering(lowered, pred_index, sweeps, triggers, outputs, route)
 
 
 def compile_kernel(program: Program) -> Optional[KernelProgram]:
@@ -821,14 +1017,22 @@ def compile_kernel(program: Program) -> Optional[KernelProgram]:
         return None
     direct = _lower(program, split, "direct")
     if direct is not None and not direct.superlinear:
-        return direct
+        return KernelProgram(program, [direct])
+    variants: List[_Lowering] = []
     normalized = _try_tmnf_lowering(program)
     if normalized is not None:
-        return normalized
-    return direct
+        variants.append(normalized)
+    if direct is not None:
+        # Last resort: the superlinear direct lowering still evaluates
+        # correctly (just not within the linear bound) on snapshots the
+        # TMNF variants cannot bind.
+        variants.append(direct)
+    if not variants:
+        return None
+    return KernelProgram(program, variants)
 
 
-def _try_tmnf_lowering(program: Program) -> Optional[KernelProgram]:
+def _try_tmnf_lowering(program: Program) -> Optional[_Lowering]:
     from repro.errors import TMNFError
 
     try:
@@ -841,6 +1045,37 @@ def _try_tmnf_lowering(program: Program) -> Optional[KernelProgram]:
     if lowered is not None and lowered.max_branches == 0:
         return lowered
     return None
+
+
+def _expand_generic_child(program: Program, max_rank: int) -> Optional[Program]:
+    """Lemma 5.4 preprocessing: expand ``child`` over a rank-``K`` signature.
+
+    Every generic ``child(x, y)`` body atom is replaced by the disjunction
+    ``child1(x, y) | ... | childK(x, y)`` -- one rule copy per choice, so
+    a rule with ``m`` generic atoms yields ``K^m`` copies.  Returns
+    ``None`` when ``max_rank`` is not positive or a rule would blow up
+    past a small cap (such programs fall back to the general engine).
+    """
+    if max_rank < 1:
+        return None
+    rules: List[Rule] = []
+    for rule in program.rules:
+        positions = [
+            index for index, atom in enumerate(rule.body) if atom.pred == "child"
+        ]
+        if not positions:
+            rules.append(rule)
+            continue
+        if max_rank ** len(positions) > 64:
+            return None
+        for combo in itertools.product(
+            range(1, max_rank + 1), repeat=len(positions)
+        ):
+            body = list(rule.body)
+            for position, k in zip(positions, combo):
+                body[position] = Atom(f"child{k}", body[position].args)
+            rules.append(Rule(rule.head, body))
+    return Program(rules, query=program.query, declared=program.declared)
 
 
 def kernel_applicable(program: Program, structure: Structure) -> bool:

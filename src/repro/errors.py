@@ -72,3 +72,14 @@ class WrapError(ReproError):
 
 class HTMLError(ReproError):
     """Raised by the HTML front end for irrecoverably malformed input."""
+
+
+class ServeError(ReproError):
+    """Raised by the wrapper-serving subsystem (:mod:`repro.serve`).
+
+    Examples: unknown wrapper references, invalid registration payloads,
+    or a corrupted registry cache entry."""
+
+
+class ServerOverloaded(ServeError):
+    """Raised when the serving queue is full (mapped to HTTP 503)."""

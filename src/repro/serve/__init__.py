@@ -1,0 +1,57 @@
+"""``repro.serve``: the wrapper-serving subsystem.
+
+The paper's wrappers were built to run continuously against live Web
+pages; this package is the layer that actually *serves* them.  It sits on
+top of the compile-once / kernel / streaming stack and is composed of
+four pieces, each usable on its own:
+
+* :mod:`repro.serve.registry` -- :class:`WrapperRegistry`: named and
+  versioned compiled wrappers (Elog- or monadic datalog source ->
+  :meth:`repro.wrap.extraction.Wrapper.compile`), persisted to a disk
+  cache via pickle with source-hash invalidation and warm-loaded on
+  startup;
+* :mod:`repro.serve.executor` -- :class:`ShardExecutor`: a long-lived
+  pool of single-worker process shards (generalizing the per-call
+  ``workers=`` fan-out of the batch APIs); each compiled wrapper is
+  pickled to a shard exactly once and documents are routed to shards by
+  content hash;
+* :mod:`repro.serve.batcher` -- :class:`MicroBatcher`: coalesces
+  concurrent single-document requests into kernel batches (flush on size
+  or deadline), dedupes identical documents inside a batch, and fronts
+  everything with a content-hash LRU :class:`repro.serve.cache.ResultCache`
+  so repeated documents skip parse + fixpoint entirely;
+* :mod:`repro.serve.server` -- :class:`ExtractionServer`: a stdlib-only
+  asyncio HTTP server exposing ``POST /extract/{wrapper}@{version}``,
+  ``POST /batch``, ``GET/POST /wrappers``, ``GET /healthz`` and
+  ``GET /metrics``, with bounded-queue backpressure (503) and graceful
+  shutdown.  Run it as ``python -m repro.serve``.
+
+Quickstart::
+
+    from repro.serve import ExtractionServer, WrapperRegistry
+
+    registry = WrapperRegistry("var/wrappers")      # persistent, warm-loads
+    registry.register("catalog", ELOG_SOURCE, kind="elog")
+    server = ExtractionServer(registry, port=8421, shards=2)
+    # await server.start() inside an event loop, or:
+    #   python -m repro.serve --registry-dir var/wrappers --shards 2
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import ResultCache
+from repro.serve.executor import ShardExecutor, content_hash
+from repro.serve.metrics import ServeMetrics
+from repro.serve.registry import RegisteredWrapper, WrapperRegistry
+from repro.serve.server import ExtractionServer, ServerThread
+
+__all__ = [
+    "ExtractionServer",
+    "MicroBatcher",
+    "RegisteredWrapper",
+    "ResultCache",
+    "ServeMetrics",
+    "ServerThread",
+    "ShardExecutor",
+    "WrapperRegistry",
+    "content_hash",
+]

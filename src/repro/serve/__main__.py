@@ -1,0 +1,122 @@
+"""``python -m repro.serve``: run the wrapper extraction server.
+
+Examples::
+
+    # In-memory registry, demo catalog wrapper, one process shard:
+    python -m repro.serve --port 8421 --demo --shards 1
+
+    # Persistent registry (warm-loads previously registered wrappers):
+    python -m repro.serve --port 8421 --registry-dir var/wrappers
+
+Then::
+
+    curl -s localhost:8421/healthz
+    curl -s -X POST localhost:8421/extract/catalog \\
+         -d '{"html": "<table><tr><td>Lamp</td><td>$9.99</td></tr></table>"}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from repro.serve.registry import WrapperRegistry
+from repro.serve.server import ExtractionServer
+
+#: Name under which ``--demo`` registers the reference catalog wrapper.
+DEMO_WRAPPER = "catalog"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve registered wrappers over HTTP (asyncio, stdlib only).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8421)
+    parser.add_argument(
+        "--registry-dir",
+        default=None,
+        help="persist compiled wrappers here (warm-loaded on startup)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="process shards for evaluation (0 = inline single shard)",
+    )
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=10.0,
+        help="micro-batch flush deadline in milliseconds",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="pending-document budget before requests get 503",
+    )
+    parser.add_argument("--cache-size", type=int, default=512)
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help=f"register the reference catalog wrapper as {DEMO_WRAPPER!r}",
+    )
+    return parser
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    registry = WrapperRegistry(args.registry_dir)
+    if args.demo:
+        from repro.workloads import CATALOG_WRAPPER
+
+        entry = registry.register(
+            DEMO_WRAPPER,
+            CATALOG_WRAPPER,
+            kind="elog",
+            patterns=["record", "name", "price"],
+        )
+        print(f"registered demo wrapper {entry.key}", flush=True)
+    server = ExtractionServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+        max_pending=args.max_pending,
+        cache_size=args.cache_size,
+    )
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):  # pragma: no cover
+            loop.add_signal_handler(signum, stop.set)
+    print(
+        f"repro.serve listening on {server.address} "
+        f"({len(registry)} wrapper(s), {server.executor.n_shards} shard(s), "
+        f"mode={server.executor.mode})",
+        flush=True,
+    )
+    await stop.wait()
+    print("repro.serve: draining and shutting down ...", flush=True)
+    await server.stop()
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C fallback
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

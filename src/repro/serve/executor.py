@@ -1,0 +1,245 @@
+"""Sharded long-lived evaluation pool for compiled wrappers.
+
+The batch APIs of :mod:`repro.wrap.extraction` spin a process pool up per
+call; a server cannot afford that.  :class:`ShardExecutor` owns a fixed
+set of *shards* -- each a single-worker ``ProcessPoolExecutor`` -- that
+live for the whole server lifetime.  A compiled wrapper is pickled and
+installed into each shard exactly once (plans + kernel tables, a few KB);
+after that, only HTML strings travel to a shard and only flat
+JSON-serializable output dicts travel back.
+
+Documents are routed to shards by content hash, so identical documents
+always land on the same shard and a multi-document batch splits into at
+most one sub-batch per shard.  ``shards=0`` selects the *inline* mode --
+a single thread-backed shard with no pickling -- used by tests and by
+single-core boxes where process fan-out cannot pay for itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Dict, List
+
+from repro.errors import ServeError, ServerOverloaded
+from repro.wrap.extraction import Wrapper
+
+
+def content_hash(html: str) -> str:
+    """Stable content hash of one document (routing and cache key)."""
+    return hashlib.sha256(html.encode("utf-8", "surrogatepass")).hexdigest()
+
+
+#: Per-worker-process wrapper store, populated by :func:`_shard_install`.
+_SHARD_WRAPPERS: Dict[str, Wrapper] = {}
+
+
+def _shard_install(key: str, wrapper: Wrapper) -> bool:
+    _SHARD_WRAPPERS[key] = wrapper
+    return True
+
+
+def _shard_uninstall(key: str) -> bool:
+    return _SHARD_WRAPPERS.pop(key, None) is not None
+
+
+def _shard_wrap(key: str, pages: List[str]) -> List[dict]:
+    wrapper = _SHARD_WRAPPERS.get(key)
+    if wrapper is None:
+        # Retryable (503): the wrapper was evicted or the worker was
+        # respawned; the next request re-installs it via ensure_installed.
+        raise ServerOverloaded(
+            f"wrapper {key!r} is not resident on this shard; retry the request"
+        )
+    return [out.to_dict() for out in wrapper.wrap_html_many(pages)]
+
+
+def _forget_on_failure(shard, key: str):
+    def callback(future: Future) -> None:
+        if future.cancelled() or future.exception() is not None:
+            shard.installed.pop(key, None)
+
+    return callback
+
+
+class _ProcessShard:
+    """One single-worker process, wrappers installed once.
+
+    A dead worker (OOM-killed, segfaulted) breaks its ``ProcessPoolExecutor``
+    permanently; submissions after that respawn the pool -- the in-flight
+    request fails with a retryable :class:`ServerOverloaded`, installed
+    wrappers are forgotten (so they re-install on the next request), and
+    the shard heals itself.
+    """
+
+    def __init__(self) -> None:
+        self.pool = ProcessPoolExecutor(max_workers=1)
+        #: Installed wrapper keys in LRU order (see ensure_installed).
+        self.installed: "OrderedDict[str, bool]" = OrderedDict()
+
+    def _submit(self, fn, *args) -> Future:
+        # Never submit to a freshly respawned pool here: the respawn
+        # cleared the installed set, so the caller must go back through
+        # ensure_installed first.  Raising the retryable error (mapped to
+        # 503) makes the next request do exactly that.
+        if getattr(self.pool, "_broken", False):
+            self._respawn()
+            raise ServerOverloaded(
+                "shard worker died; shard respawned, retry the request"
+            )
+        try:
+            return self.pool.submit(fn, *args)
+        except BrokenExecutor:
+            self._respawn()
+            raise ServerOverloaded(
+                "shard worker died; shard respawned, retry the request"
+            ) from None
+
+    def _respawn(self) -> None:
+        self.pool.shutdown(wait=False, cancel_futures=True)
+        self.pool = ProcessPoolExecutor(max_workers=1)
+        self.installed.clear()
+
+    def install(self, key: str, wrapper: Wrapper) -> Future:
+        return self._submit(_shard_install, key, wrapper)
+
+    def uninstall(self, key: str) -> Future:
+        return self._submit(_shard_uninstall, key)
+
+    def run(self, key: str, pages: List[str]) -> Future:
+        return self._submit(_shard_wrap, key, pages)
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=True, cancel_futures=True)
+
+
+class _InlineShard:
+    """Thread-backed shard: no pickling, shared-memory wrapper store."""
+
+    def __init__(self) -> None:
+        self.pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-shard"
+        )
+        self.installed: "OrderedDict[str, bool]" = OrderedDict()
+        self._wrappers: Dict[str, Wrapper] = {}
+
+    def install(self, key: str, wrapper: Wrapper) -> Future:
+        return self.pool.submit(self._wrappers.__setitem__, key, wrapper)
+
+    def uninstall(self, key: str) -> Future:
+        return self.pool.submit(self._wrappers.pop, key, None)
+
+    def run(self, key: str, pages: List[str]) -> Future:
+        return self.pool.submit(self._wrap, key, pages)
+
+    def _wrap(self, key: str, pages: List[str]) -> List[dict]:
+        wrapper = self._wrappers.get(key)
+        if wrapper is None:
+            raise ServerOverloaded(
+                f"wrapper {key!r} is not resident on this shard; retry the request"
+            )
+        return [out.to_dict() for out in wrapper.wrap_html_many(pages)]
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=True, cancel_futures=True)
+
+
+class ShardExecutor:
+    """A fixed set of long-lived evaluation shards.
+
+    Parameters
+    ----------
+    shards:
+        Number of process shards; ``0`` (default) selects one inline
+        thread-backed shard.
+    max_installed:
+        Cap on resident compiled wrappers per shard.  Superseded or
+        rarely used registrations are evicted LRU from the worker's store
+        (and transparently re-installed on their next request), so a
+        server whose wrappers are re-registered over time cannot grow
+        worker memory without bound.
+
+    Examples
+    --------
+    >>> executor = ShardExecutor(shards=0)
+    >>> executor.mode, executor.n_shards
+    ('inline', 1)
+    >>> a = executor.shard_for(content_hash("<ul><li>x</ul>"))
+    >>> a == executor.shard_for(content_hash("<ul><li>x</ul>"))
+    True
+    >>> executor.close()
+    """
+
+    def __init__(self, shards: int = 0, max_installed: int = 32):
+        if shards <= 0:
+            self.mode = "inline"
+            self._shards = [_InlineShard()]
+        else:
+            self.mode = "process"
+            self._shards = [_ProcessShard() for _ in range(shards)]
+        self.max_installed = max(1, max_installed)
+        self._closed = False
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_for(self, doc_hash: str) -> int:
+        """Deterministic shard index for one document content hash."""
+        return int(doc_hash[:16], 16) % len(self._shards)
+
+    def ensure_installed(self, key: str, wrapper: Wrapper) -> List[Future]:
+        """Install ``key`` on every shard that lacks it; pending futures.
+
+        The wrapper is pickled to each process shard at most once while it
+        stays resident; callers await the returned futures before
+        submitting work for ``key``.  Shard stores are LRU-bounded by
+        ``max_installed``: the least recently used key is uninstalled from
+        the worker (safe -- its next request just re-installs), keeping
+        worker memory flat however many registrations come and go.
+        """
+        if self._closed:
+            raise ServeError("executor is closed")
+        futures: List[Future] = []
+        for shard in self._shards:
+            if key in shard.installed:
+                shard.installed.move_to_end(key)
+                continue
+            future = shard.install(key, wrapper)
+            shard.installed[key] = True
+            # A failed install must not poison the shard: forget the
+            # key again so the next request retries the install.
+            future.add_done_callback(_forget_on_failure(shard, key))
+            futures.append(future)
+            while len(shard.installed) > self.max_installed:
+                stale, _ = shard.installed.popitem(last=False)
+                try:
+                    # Fire-and-forget: the single-worker pool is FIFO, so
+                    # any batch already queued for ``stale`` runs first.
+                    shard.uninstall(stale)
+                except ServerOverloaded:
+                    pass  # pool respawned: the whole store is gone anyway
+        return futures
+
+    def submit(self, shard_index: int, key: str, pages: List[str]) -> Future:
+        """Evaluate a sub-batch of pages on one shard (future of dicts)."""
+        if self._closed:
+            raise ServeError("executor is closed")
+        return self._shards[shard_index].run(key, pages)
+
+    def close(self) -> None:
+        """Shut every shard down (graceful: running batches finish)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ShardExecutor({self.mode}, {self.n_shards} shards)"

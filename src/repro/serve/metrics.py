@@ -1,0 +1,106 @@
+"""Serving metrics: counters, batch-size stats, latency percentiles.
+
+Everything is in-process and cheap: counters are a ``Counter``, latencies
+live in a bounded ring (the last N observations), and percentiles are
+computed on demand by :meth:`ServeMetrics.snapshot` -- which is exactly
+what ``GET /metrics`` returns.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import Counter, deque
+from typing import Dict, List
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of an ascending non-empty list.
+
+    Nearest-rank definition: ``ceil(q * n)``-th smallest value, so the
+    median of an odd-length series is its middle element.
+
+    >>> percentile([1, 2, 3, 4, 100], 0.50)
+    3
+    >>> percentile([1, 2, 3, 4, 100], 0.95)
+    100
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty series")
+    index = max(
+        0, min(len(sorted_values) - 1, math.ceil(q * len(sorted_values)) - 1)
+    )
+    return sorted_values[index]
+
+
+class ServeMetrics:
+    """Counters + latency reservoir for the serving subsystem.
+
+    Examples
+    --------
+    >>> metrics = ServeMetrics()
+    >>> metrics.incr("requests_total"); metrics.observe_batch(4)
+    >>> for ms in (1, 2, 3, 4, 100):
+    ...     metrics.observe_latency(ms / 1000.0)
+    >>> snap = metrics.snapshot()
+    >>> snap["counters"]["requests_total"], snap["batches"]["max_size"]
+    (1, 4)
+    >>> snap["latency"]["p50_ms"] <= snap["latency"]["p95_ms"]
+    True
+    """
+
+    def __init__(self, latency_window: int = 4096):
+        self._lock = threading.Lock()
+        self._counters: Counter = Counter()
+        self._latencies: deque = deque(maxlen=latency_window)
+        self._batch_count = 0
+        self._batch_documents = 0
+        self._batch_max = 0
+        self._started = time.time()
+
+    def incr(self, name: str, count: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += count
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self._batch_count += 1
+            self._batch_documents += size
+            if size > self._batch_max:
+                self._batch_max = size
+
+    def observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
+
+    def snapshot(self) -> Dict:
+        """JSON-serializable view of every metric (the /metrics body)."""
+        with self._lock:
+            counters = dict(self._counters)
+            latencies = sorted(self._latencies)
+            batches = {
+                "count": self._batch_count,
+                "documents": self._batch_documents,
+                "max_size": self._batch_max,
+                "mean_size": (
+                    round(self._batch_documents / self._batch_count, 2)
+                    if self._batch_count
+                    else 0.0
+                ),
+            }
+            uptime = time.time() - self._started
+        latency = {"count": len(latencies)}
+        if latencies:
+            latency.update(
+                p50_ms=round(percentile(latencies, 0.50) * 1e3, 3),
+                p95_ms=round(percentile(latencies, 0.95) * 1e3, 3),
+                max_ms=round(latencies[-1] * 1e3, 3),
+                mean_ms=round(sum(latencies) / len(latencies) * 1e3, 3),
+            )
+        return {
+            "counters": counters,
+            "batches": batches,
+            "latency": latency,
+            "uptime_s": round(uptime, 3),
+        }

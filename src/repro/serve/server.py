@@ -1,0 +1,465 @@
+"""Stdlib-only asyncio HTTP server for wrapper extraction.
+
+Routes (all bodies and responses are JSON):
+
+=======  ==========================  ===========================================
+method   path                        behavior
+=======  ==========================  ===========================================
+POST     /extract/{name}[@{ver}]     ``{"html": ...}`` -> one wrapped output
+                                     (through the micro-batcher + cache)
+POST     /batch                      ``{"wrapper": ref, "documents": [...]}``
+                                     -> one output per document
+GET      /wrappers                   list registered wrappers
+POST     /wrappers                   register ``{"name", "source", "kind",
+                                     "patterns"?, "version"?}``
+GET      /healthz                    liveness + queue depth
+GET      /metrics                    counters, batch stats, p50/p95 latency
+=======  ==========================  ===========================================
+
+The request path is fully asynchronous: handlers never run a fixpoint on
+the event loop -- documents go through the
+:class:`~repro.serve.batcher.MicroBatcher` into the
+:class:`~repro.serve.executor.ShardExecutor`.  When the pending-document
+budget is exhausted the server answers ``503`` immediately (bounded
+queue -> backpressure).  ``stop()`` is graceful: the listener closes
+first, queued batches flush, in-flight connections finish, then the
+shards shut down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import threading
+import time
+from concurrent.futures import BrokenExecutor
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError, ServeError, ServerOverloaded
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import ResultCache
+from repro.serve.executor import ShardExecutor
+from repro.serve.metrics import ServeMetrics
+from repro.serve.registry import WrapperRegistry
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Routes whose duration feeds the latency percentiles.
+_TIMED_ROUTES = ("/extract/", "/batch")
+
+
+class ExtractionServer:
+    """The serving stack wired together behind one asyncio listener."""
+
+    def __init__(
+        self,
+        registry: WrapperRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int = 0,
+        max_batch: int = 16,
+        max_delay: float = 0.010,
+        max_pending: int = 256,
+        cache_size: int = 512,
+        max_body: int = 8 * 1024 * 1024,
+        idle_timeout: float = 60.0,
+    ):
+        self.registry = registry
+        self.host = host
+        self.port = port  # 0 -> ephemeral; set to the bound port by start()
+        self.metrics = ServeMetrics()
+        self.cache = ResultCache(cache_size)
+        self._shard_count = shards
+        self._max_batch = max_batch
+        self._max_delay = max_delay
+        self._max_pending = max_pending
+        self.max_body = max_body
+        self.idle_timeout = idle_timeout
+        self.executor: Optional[ShardExecutor] = None
+        self.batcher: Optional[MicroBatcher] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._stopping = False
+        self._started = time.time()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and bring the executor + batcher up."""
+        self.executor = ShardExecutor(self._shard_count)
+        self.batcher = MicroBatcher(
+            self.executor,
+            self.cache,
+            self.metrics,
+            max_batch=self._max_batch,
+            max_delay=self._max_delay,
+            max_pending=self._max_pending,
+        )
+        try:
+            self._server = await asyncio.start_server(
+                self._client_connected, self.host, self.port
+            )
+        except Exception:
+            # A failed bind must not leak shard worker processes.
+            executor, self.executor, self.batcher = self.executor, None, None
+            await asyncio.get_running_loop().run_in_executor(None, executor.close)
+            raise
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started = time.time()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, close the shards.
+
+        New extraction work arriving on established keep-alive
+        connections is rejected with 503 from this point, so the drain
+        cannot be starved by a client that keeps posting.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+        if self.batcher is not None:
+            await self.batcher.drain()
+        if self._connections:
+            # Give in-flight responses a moment to finish, then cut idle
+            # keep-alive connections loose.  (Handlers also force
+            # ``Connection: close`` once _stopping is set.)
+            _, pending = await asyncio.wait(
+                set(self._connections), timeout=0.5
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self._server is not None:
+            # All handlers are done, so this resolves immediately (on
+            # 3.11 wait_closed blocks while connections are still live).
+            await self._server.wait_closed()
+            self._server = None
+        if self.executor is not None:
+            executor = self.executor
+            self.executor = None
+            await asyncio.get_running_loop().run_in_executor(None, executor.close)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- connection handling -------------------------------------------------
+
+    async def _client_connected(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass  # deliberate: stop() cancels idle keep-alive connections
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - racy close
+                pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        while True:
+            try:
+                request_line = await asyncio.wait_for(
+                    reader.readline(), timeout=self.idle_timeout
+                )
+            except asyncio.TimeoutError:
+                return
+            except ValueError:
+                # Request line exceeds the stream's line-length limit.
+                await self._respond(writer, 400, {"error": "request line too long"})
+                return
+            except (ConnectionError, OSError):
+                return
+            if not request_line:
+                return
+            parts = request_line.decode("latin-1").strip().split()
+            if len(parts) < 2:
+                await self._respond(writer, 400, {"error": "malformed request line"})
+                return
+            method = parts[0].upper()
+            target = parts[1]
+            version = parts[2] if len(parts) > 2 else "HTTP/1.0"
+            headers: Dict[str, str] = {}
+            try:
+                # The idle timeout also bounds header/body reads, so a
+                # stalled client cannot hold a connection task forever.
+                while True:
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=self.idle_timeout
+                    )
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    if len(headers) >= 100:
+                        await self._respond(
+                            writer, 400, {"error": "too many headers"}
+                        )
+                        return
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "bad content-length"})
+                    return
+                if length < 0:
+                    await self._respond(writer, 400, {"error": "bad content-length"})
+                    return
+                if length > self.max_body:
+                    await self._respond(writer, 413, {"error": "body too large"})
+                    return
+                if "100-continue" in headers.get("expect", "").lower():
+                    # curl sends this for large bodies and waits ~1s for
+                    # the interim response before posting anyway.
+                    writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+                    await writer.drain()
+                body = (
+                    await asyncio.wait_for(
+                        reader.readexactly(length), timeout=self.idle_timeout
+                    )
+                    if length
+                    else b""
+                )
+            except asyncio.TimeoutError:
+                return
+            except ValueError:
+                await self._respond(writer, 400, {"error": "header line too long"})
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            keep_alive = (
+                version == "HTTP/1.1"
+                and headers.get("connection", "").lower() != "close"
+                and not self._stopping
+            )
+            started = time.perf_counter()
+            status, payload = await self._dispatch(method, target, body)
+            if self._stopping:
+                keep_alive = False
+            if method == "POST" and target.split("?", 1)[0].startswith(_TIMED_ROUTES):
+                self.metrics.observe_latency(time.perf_counter() - started)
+            ok = await self._respond(writer, status, payload, keep_alive)
+            if not ok or not keep_alive:
+                return
+
+    async def _respond(self, writer, status, payload, keep_alive=False) -> bool:
+        data = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + data)
+            await writer.drain()
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+    # -- routing -------------------------------------------------------------
+
+    async def _dispatch(self, method: str, target: str, body: bytes) -> Tuple[int, dict]:
+        path = target.split("?", 1)[0]
+        self.metrics.incr("requests_total")
+        try:
+            if method == "GET":
+                return self._dispatch_get(path)
+            if method == "POST":
+                return await self._dispatch_post(path, body)
+            return 405, {"error": f"method {method} not allowed"}
+        except ServerOverloaded as exc:
+            return 503, {"error": str(exc)}
+        except BrokenExecutor:
+            # A shard worker died under this request; the shard respawns
+            # on the next submission, so the client should just retry.
+            self.metrics.incr("errors")
+            return 503, {"error": "shard worker died; retry the request"}
+        except ReproError as exc:
+            # Library errors surfaced by client input (bad wrapper
+            # source, unparsable registration, unknown patterns, ...).
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        except Exception as exc:  # defensive: never kill the connection loop
+            self.metrics.incr("errors")
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def _dispatch_get(self, path: str) -> Tuple[int, dict]:
+        if path == "/healthz":
+            assert self.batcher is not None
+            return 200, {
+                "status": "ok",
+                "wrappers": len(self.registry),
+                "pending_documents": self.batcher.pending,
+                "max_pending": self.batcher.max_pending,
+                "shards": self.executor.n_shards if self.executor else 0,
+                "uptime_s": round(time.time() - self._started, 3),
+            }
+        if path == "/metrics":
+            return 200, self.metrics.snapshot()
+        if path == "/wrappers":
+            return 200, {"wrappers": self.registry.list()}
+        return 404, {"error": f"no such route {path!r}"}
+
+    async def _dispatch_post(self, path: str, body: bytes) -> Tuple[int, dict]:
+        assert self.batcher is not None
+        if self._stopping:
+            return 503, {"error": "server is shutting down"}
+        if path.startswith("/extract/"):
+            ref = path[len("/extract/") :]
+            data = self._json_body(body)
+            html = data.get("html")
+            if not isinstance(html, str):
+                return 400, {"error": "body must be {'html': '<...>'}"}
+            try:
+                entry = self.registry.resolve(ref)
+            except ServeError as exc:
+                return 404, {"error": str(exc)}
+            self.metrics.incr("extract_requests")
+            payload = await self.batcher.submit(entry, html)
+            return 200, {
+                "wrapper": entry.name,
+                "version": entry.version,
+                "result": payload,
+            }
+        if path == "/batch":
+            data = self._json_body(body)
+            ref = data.get("wrapper")
+            documents = data.get("documents")
+            if not isinstance(ref, str) or not isinstance(documents, list) or not all(
+                isinstance(doc, str) for doc in documents
+            ):
+                return 400, {
+                    "error": "body must be {'wrapper': ref, 'documents': [html, ...]}"
+                }
+            try:
+                entry = self.registry.resolve(ref)
+            except ServeError as exc:
+                return 404, {"error": str(exc)}
+            self.metrics.incr("batch_requests")
+            results = await self.batcher.run_batch(entry, documents)
+            return 200, {
+                "wrapper": entry.name,
+                "version": entry.version,
+                "results": results,
+            }
+        if path == "/wrappers":
+            data = self._json_body(body)
+            name = data.get("name")
+            source = data.get("source")
+            patterns = data.get("patterns")
+            version = data.get("version")
+            if not isinstance(name, str) or not isinstance(source, str):
+                return 400, {"error": "registration needs 'name' and 'source'"}
+            if patterns is not None and (
+                not isinstance(patterns, list)
+                or not all(isinstance(p, str) for p in patterns)
+            ):
+                return 400, {"error": "'patterns' must be a list of strings"}
+            if version is not None and not isinstance(version, int):
+                return 400, {"error": "'version' must be an integer"}
+            # Compilation and persistence are CPU/disk work: run them off
+            # the event loop so in-flight extractions never stall.
+            entry = await asyncio.get_running_loop().run_in_executor(
+                None,
+                functools.partial(
+                    self.registry.register,
+                    name,
+                    source,
+                    kind=data.get("kind", "elog"),
+                    patterns=patterns,
+                    version=version,
+                ),
+            )
+            self.metrics.incr("registrations")
+            return 201, entry.describe()
+        return 404, {"error": f"no such route {path!r}"}
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            data = json.loads(body)
+        except ValueError:
+            raise ServeError("request body is not valid JSON") from None
+        if not isinstance(data, dict):
+            raise ServeError("request body must be a JSON object")
+        return data
+
+
+class ServerThread:
+    """Run an :class:`ExtractionServer` on a dedicated event-loop thread.
+
+    The embedding harness used by the test suite, the benchmark driver and
+    any synchronous caller: ``start()`` blocks until the port is bound
+    (propagating startup errors), ``stop()`` performs the server's
+    graceful shutdown and joins the thread.
+    """
+
+    def __init__(self, server: ExtractionServer):
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+
+    def start(self) -> Tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise ServeError("server thread failed to start within 30s")
+        if self._error is not None:
+            raise ServeError(f"server failed to start: {self._error}")
+        return self.server.host, self.server.port
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # loop already closed
+                pass
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self.server.start()
+        except Exception as exc:
+            self._error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop_event.wait()
+        await self.server.stop()

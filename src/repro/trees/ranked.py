@@ -208,6 +208,15 @@ class RankedStructure(Structure):
         if name.startswith("notlabel_"):
             label = name[len("notlabel_") :]
             return {(i,) for i, n in enumerate(nodes) if n.label != label}
+        if name == "child":
+            # The union of the child_k relations (Lemma 5.4's generic
+            # ``child`` over a ranked signature), so programs written over
+            # ``tau_ur u {child}`` shapes also evaluate on ranked trees.
+            out = set()
+            for i, n in enumerate(nodes):
+                for c in n.children:
+                    out.add((i, ids[id(c)]))
+            return out
         if name.startswith("child") and name[len("child") :].isdigit():
             k = int(name[len("child") :])
             if not 1 <= k <= self._alphabet.max_rank:

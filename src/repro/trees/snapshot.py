@@ -330,6 +330,12 @@ class TreeSnapshot:
     def _compute_backward(self, name: str) -> Optional[List[int]]:
         n = self.size
         parent = self.parent
+        if name == "child":
+            # ``child`` is backward-functional over any tree schema: the
+            # ranked signature derives it as the union of the ``child_k``
+            # partial bijections (Lemma 5.4's reading), so branching-heavy
+            # ``tau_rk`` programs can ride the kernel too.
+            return parent
         if self.schema == "unranked":
             if name == "firstchild":
                 prevsibling = self.prevsibling
@@ -343,8 +349,6 @@ class TreeSnapshot:
                 return [
                     parent[v] if nextsibling[v] < 0 else -1 for v in range(n)
                 ]
-            if name == "child":
-                return parent
             return None
         k = self._child_k(name)
         if k is None:
@@ -356,8 +360,14 @@ class TreeSnapshot:
         ]
 
     def branches_forward(self, name: str) -> bool:
-        """Whether ``name`` is traversable forward by child enumeration."""
-        return self.schema == "unranked" and name == "child"
+        """Whether ``name`` is traversable forward by child enumeration.
+
+        True for ``child`` over both schemata: the ``firstchild`` /
+        ``nextsibling`` columns exist regardless of the owning structure's
+        signature, and ranked structures supply ``child`` as the union of
+        their ``child_k`` relations.
+        """
+        return name == "child"
 
     # -- tree navigation ---------------------------------------------------
 

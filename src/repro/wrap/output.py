@@ -76,6 +76,43 @@ class OutputNode:
         for child in self.children:
             yield from child.iter_subtree()
 
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering (the serving subsystem's payload).
+
+        Keys are always present: ``label``, ``source_id`` (``None`` for
+        the synthetic root), ``text`` (``None`` when absent), and
+        ``children`` (possibly empty).  Iterative so arbitrarily deep
+        wrapped outputs never hit the recursion limit.
+
+        >>> root = OutputNode("result")
+        >>> item = root.add(OutputNode("item", source_id=3))
+        >>> item.text = "42"
+        >>> root.to_dict() == {
+        ...     "label": "result", "source_id": None, "text": None,
+        ...     "children": [{"label": "item", "source_id": 3,
+        ...                   "text": "42", "children": []}]}
+        True
+        """
+        top = {
+            "label": self.label,
+            "source_id": self.source_id,
+            "text": self.text,
+            "children": [],
+        }
+        stack = [(self, top)]
+        while stack:
+            node, rendered = stack.pop()
+            for child in node.children:
+                entry = {
+                    "label": child.label,
+                    "source_id": child.source_id,
+                    "text": child.text,
+                    "children": [],
+                }
+                rendered["children"].append(entry)
+                stack.append((child, entry))
+        return top
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"OutputNode({self.to_sexpr()})"
 

@@ -6,7 +6,11 @@ from typing import List
 
 from repro.wrap.output import OutputNode
 
-_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+#: Text-node escapes, ``&`` first so it never rewrites the others'
+#: output.  Only ``& < >`` are markup-significant in text content;
+#: attribute-style quote escaping (``&quot;`` / ``&apos;``) belongs in
+#: attribute values only and must not rewrite text nodes.
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
 
 
 def _escape(text: str) -> str:
@@ -26,6 +30,17 @@ def to_xml(node: OutputNode, indent: int = 0) -> str:
     >>> print(to_xml(root))
     <result>
       <item>42</item>
+    </result>
+
+    Quotes are data in text content and pass through verbatim; only
+    ``& < >`` are escaped:
+
+    >>> quoted = OutputNode("result")
+    >>> cell = quoted.add(OutputNode("item"))
+    >>> cell.text = 'say "hi" & don\\'t <wave>'
+    >>> print(to_xml(quoted))
+    <result>
+      <item>say "hi" &amp; don't &lt;wave&gt;</item>
     </result>
     """
     pad = "  " * indent

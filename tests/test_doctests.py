@@ -18,6 +18,10 @@ import repro.html.entities
 import repro.html.parser
 import repro.html.tokenizer
 import repro.mso.parser
+import repro.serve.cache
+import repro.serve.executor
+import repro.serve.metrics
+import repro.serve.registry
 import repro.caterpillar.rewrite
 import repro.caterpillar.syntax
 import repro.structures
@@ -30,6 +34,7 @@ import repro.trees.ranked
 import repro.trees.snapshot
 import repro.trees.unranked
 import repro.wrap.extraction
+import repro.wrap.output
 import repro.wrap.serialize
 import repro.wrap.visual
 
@@ -54,7 +59,12 @@ MODULES = [
     repro.html.entities,
     repro.html.tokenizer,
     repro.html.parser,
+    repro.serve.cache,
+    repro.serve.executor,
+    repro.serve.metrics,
+    repro.serve.registry,
     repro.wrap.extraction,
+    repro.wrap.output,
     repro.wrap.serialize,
     repro.wrap.visual,
     repro.paper,

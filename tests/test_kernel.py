@@ -81,11 +81,13 @@ class TestTreeSnapshot:
         assert {i: v for i, v in enumerate(forward) if v >= 0} == {0: 2, 2: 4}
         backward = snap.backward_map("child1")
         assert {i: v for i, v in enumerate(backward) if v >= 0} == {1: 0, 3: 2}
-        # Out-of-schema names resolve to nothing.
+        # Out-of-schema names resolve to nothing; generic ``child`` is the
+        # union of the child_k bijections (backward = parent, forward by
+        # enumeration) on every schema.
         assert snap.forward_map("child3") is None
-        assert snap.backward_map("child") is None
+        assert snap.backward_map("child") == snap.parent
         assert snap.unary_mask("lastsibling") is None
-        assert not snap.branches_forward("child")
+        assert snap.branches_forward("child")
 
 
 def _random_kernel_program(rng):
@@ -218,6 +220,84 @@ class TestKernelEquivalence:
             tree = random_tree(rng, rng.randint(1, 14), labels=("a", "b"))
             structure = UnrankedStructure(tree)
             assert kernel.run(structure) == evaluate_seminaive(program, structure)
+
+    def test_generic_child_over_ranked_trees_stays_in_kernel(self):
+        # Satellite (PR 5): one-branch generic-``child`` programs bind
+        # directly over ranked snapshots (backward = parent, forward by
+        # enumeration), with the union-of-child_k semantics.
+        rng = random.Random(91)
+        program = parse_program(
+            """
+            q(x) :- label_f(x).
+            p(y) :- q(x), child(x, y).
+            p(x) :- p(y), child(x, y), label_f(x).
+            """,
+            query="p",
+        )
+        for _ in range(15):
+            structure = RankedStructure(
+                random_binary_tree(rng, rng.randint(1, 14), "f", "c"),
+                max_rank=2,
+            )
+            reference = evaluate_seminaive(program, structure)
+            auto = evaluate(program, structure)
+            assert auto.method == "kernel"
+            assert auto.relations == reference
+
+    def test_branchy_ranked_programs_take_ranked_tmnf_route(self):
+        # Satellite (PR 5): a branching-heavy program over ranked trees
+        # re-lowers through the *ranked* TMNF normalization (generic
+        # ``child`` expanded into child1|child2 per Lemma 5.4) instead of
+        # falling back to the general engine.
+        rng = random.Random(23)
+        program = parse_program(
+            """
+            q(x) :- label_f(x).
+            p(x) :- q(x), child(x, y), child(y, z), label_c(z).
+            """,
+            query="p",
+        )
+        kernel = compile_kernel(program)
+        assert kernel is not None
+        ranked_variant = kernel._ranked_variant(2)
+        assert ranked_variant is not None
+        assert ranked_variant.route == "tmnf-ranked"
+        assert ranked_variant.max_branches == 0
+        assert ranked_variant.required_rank == 2
+        for _ in range(20):
+            structure = RankedStructure(
+                random_binary_tree(rng, rng.randint(1, 14), "f", "c"),
+                max_rank=2,
+            )
+            reference = evaluate_seminaive(program, structure)
+            auto = evaluate(program, structure)
+            assert auto.method == "kernel"
+            assert auto.relations == reference
+        # The same compiled kernel still rides the unranked TMNF variant
+        # over unranked documents.
+        tree = random_tree(rng, 12, labels=("f", "c"))
+        structure = UnrankedStructure(tree)
+        assert kernel.run(structure) == evaluate_seminaive(program, structure)
+
+    def test_ranked_variant_is_rank_gated(self):
+        # A child1|child2 expansion compiled for rank 2 must never bind a
+        # rank-3 snapshot (third children would be invisible).
+        program = parse_program(
+            """
+            q(x) :- label_f(x).
+            p(x) :- q(x), child(x, y), child(y, z), label_c(z).
+            """,
+            query="p",
+        )
+        kernel = compile_kernel(program)
+        variant = kernel._ranked_variant(2)
+        assert variant is not None and variant.required_rank == 2
+        tree = parse_sexpr("f(c, c, f(c, c, c))")
+        structure = RankedStructure(tree, max_rank=3)
+        reference = evaluate_seminaive(program, structure)
+        result = evaluate(program, structure)
+        assert result.relations == reference
+        assert kernel._ranked_variant(3) is not None
 
     def test_zero_ary_heads_and_declared_predicates(self):
         base = parse_program(
@@ -427,6 +507,50 @@ class TestKernelBatchParity:
             reference = evaluate_seminaive(datalog, structure)
             assert row["price"] == {v for (v,) in reference["price"]}
             assert row["name"] == {v for (v,) in reference["name"]}
+
+
+class TestVectorizedSweeps:
+    """The byte-mask batch path for seed-rule enumeration (satellite):
+    vectorized and scalar sweeps must derive identical fact sets."""
+
+    def test_seed_rules_are_vectorized(self):
+        program = parse_program(
+            "p(x) :- label_a(x), leaf(x), notlabel_b(x).", query="p"
+        )
+        kernel = compile_kernel(program)
+        structure = UnrankedStructure(parse_sexpr("a(a, b(a), c)"))
+        bound = kernel._bind(structure)
+        assert bound is not None
+        _, _, sweeps, _ = bound
+        assert any(entry[-1] is not None for entry in sweeps)
+        assert kernel.run(structure) == evaluate_seminaive(program, structure)
+
+    def test_vector_and_scalar_paths_agree(self, monkeypatch):
+        import repro.datalog.kernel as kernel_mod
+
+        rng = random.Random(77)
+        for _ in range(25):
+            program = _random_kernel_program(rng)
+            tree = random_tree(rng, rng.randint(1, 20), labels=("a", "b"))
+            structure = UnrankedStructure(tree)
+            kernel = compile_kernel(program)
+            assert kernel is not None
+            monkeypatch.setattr(kernel_mod, "VECTORIZE_SWEEPS", True)
+            vectorized = kernel.run(structure)
+            monkeypatch.setattr(kernel_mod, "VECTORIZE_SWEEPS", False)
+            scalar = kernel.run(structure)
+            reference = evaluate_seminaive(program, structure)
+            assert vectorized == scalar == reference, f"{program}\non {tree}"
+
+    def test_empty_conjunction_short_circuits(self):
+        # label_nothere yields an all-zero mask; the vector path must
+        # derive nothing (and not crash on the zero integer).
+        program = parse_program(
+            "p(x) :- label_nothere(x), leaf(x).", query="p"
+        )
+        result = evaluate(program, UnrankedStructure(parse_sexpr("a(b)")))
+        assert result.method == "kernel"
+        assert result.query_result() == set()
 
 
 class TestStructureSatellites:

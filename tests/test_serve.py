@@ -1,0 +1,506 @@
+"""End-to-end tests for the wrapper-serving subsystem (:mod:`repro.serve`).
+
+Covers the registry (versioning, persistence, source-hash invalidation),
+the shard executor's content-hash routing, and the asyncio HTTP server:
+register -> /extract -> /batch round trips on an ephemeral port, cache-hit
+behavior, 503 backpressure, and registry persistence across a restart.
+"""
+
+import concurrent.futures
+import http.client
+import json
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    ExtractionServer,
+    ResultCache,
+    ServerThread,
+    ShardExecutor,
+    WrapperRegistry,
+    content_hash,
+)
+from repro.serve.registry import build_wrapper, source_hash
+from repro.workloads import CATALOG_WRAPPER, catalog_page
+
+ITEM_DATALOG = "item(x) :- label_li(x)."
+
+
+def request(host, port, method, path, body=None, timeout=30):
+    """One HTTP round trip on a fresh connection; returns (status, json)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        conn.request(method, path, payload)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+@pytest.fixture
+def running_server(tmp_path):
+    """A server on an ephemeral port backed by a persistent registry."""
+    registry = WrapperRegistry(tmp_path / "registry")
+    server = ExtractionServer(registry, port=0, shards=0)
+    thread = ServerThread(server)
+    host, port = thread.start()
+    yield host, port, server
+    thread.stop()
+
+
+class TestRegistry:
+    def test_register_versions_and_resolve(self):
+        registry = WrapperRegistry()
+        first = registry.register(
+            "items", ITEM_DATALOG, kind="datalog", patterns=["item"]
+        )
+        assert (first.name, first.version) == ("items", 1)
+        second = registry.register(
+            "items", "item(x) :- label_td(x).", kind="datalog", patterns=["item"]
+        )
+        assert second.version == 2
+        assert registry.resolve("items").version == 2
+        assert registry.resolve("items@1").source == ITEM_DATALOG
+        assert [w["version"] for w in registry.list()] == [1, 2]
+        assert len(registry) == 2
+
+    def test_idempotent_reregistration_keeps_entry(self):
+        registry = WrapperRegistry()
+        first = registry.register(
+            "items", ITEM_DATALOG, kind="datalog", patterns=["item"], version=1
+        )
+        again = registry.register(
+            "items", ITEM_DATALOG, kind="datalog", patterns=["item"], version=1
+        )
+        assert again is first
+
+    def test_reregister_with_default_patterns_replaces_narrower_entry(self):
+        registry = WrapperRegistry()
+        registry.register(
+            "catalog", CATALOG_WRAPPER, kind="elog",
+            patterns=["record"], version=1,
+        )
+        # patterns=None means "all defined patterns" and must not be
+        # swallowed by the idempotency shortcut of the narrower entry.
+        entry = registry.register("catalog", CATALOG_WRAPPER, kind="elog", version=1)
+        assert entry.patterns == ("name", "price", "record")
+        again = registry.register("catalog", CATALOG_WRAPPER, kind="elog", version=1)
+        assert again is entry  # now a genuine no-op
+
+    def test_invalid_registrations_raise(self):
+        registry = WrapperRegistry()
+        with pytest.raises(ServeError):
+            registry.register("bad name!", ITEM_DATALOG, kind="datalog")
+        with pytest.raises(ServeError):
+            registry.register("x", ITEM_DATALOG, kind="sql")
+        with pytest.raises(ServeError):
+            registry.register("x", ITEM_DATALOG, kind="datalog", patterns=["ghost"])
+        with pytest.raises(ServeError):
+            registry.register("x", "", kind="datalog")
+        with pytest.raises(ServeError):
+            registry.resolve("nothere")
+        with pytest.raises(ServeError):
+            registry.resolve("items@zzz")
+
+    def test_version_none_is_idempotent_for_unchanged_source(self, tmp_path):
+        cache_dir = tmp_path / "reg"
+        registry = WrapperRegistry(cache_dir)
+        patterns = ["record", "name", "price"]
+        first = registry.register(
+            "catalog", CATALOG_WRAPPER, kind="elog", patterns=patterns
+        )
+        assert first.version == 1
+        assert registry.register(
+            "catalog", CATALOG_WRAPPER, kind="elog", patterns=patterns
+        ) is first
+        # A restart (warm load) followed by boot-time registration must
+        # not allocate a new version either.
+        reloaded = WrapperRegistry(cache_dir)
+        again = reloaded.register(
+            "catalog", CATALOG_WRAPPER, kind="elog", patterns=patterns
+        )
+        assert again.version == 1 and len(reloaded) == 1
+
+    def test_elog_defaults_to_all_patterns(self):
+        registry = WrapperRegistry()
+        entry = registry.register("catalog", CATALOG_WRAPPER, kind="elog")
+        assert entry.patterns == ("name", "price", "record")
+
+    def test_persistence_and_warm_load(self, tmp_path):
+        cache_dir = tmp_path / "wrappers"
+        registry = WrapperRegistry(cache_dir)
+        entry = registry.register(
+            "catalog", CATALOG_WRAPPER, kind="elog",
+            patterns=["record", "name", "price"],
+        )
+        assert (cache_dir / "catalog@1.json").exists()
+        assert (cache_dir / "catalog@1.pkl").exists()
+        reloaded = WrapperRegistry(cache_dir)
+        again = reloaded.resolve("catalog@1")
+        assert again.source_hash == entry.source_hash
+        page = catalog_page(seed=3, items=2)
+        direct = entry.wrapper.wrap_html_many([page])[0].to_dict()
+        assert again.wrapper.wrap_html_many([page])[0].to_dict() == direct
+
+    def test_stale_pickle_is_invalidated_and_recompiled(self, tmp_path):
+        cache_dir = tmp_path / "wrappers"
+        registry = WrapperRegistry(cache_dir)
+        registry.register("items", ITEM_DATALOG, kind="datalog", patterns=["item"])
+        # Tamper: pretend the pickle was compiled from different source.
+        pkl = cache_dir / "items@1.pkl"
+        payload = pickle.loads(pkl.read_bytes())
+        payload["source_hash"] = "0" * 64
+        pkl.write_bytes(pickle.dumps(payload))
+        reloaded = WrapperRegistry(cache_dir)
+        entry = reloaded.resolve("items@1")
+        assert entry.source_hash == source_hash(
+            "datalog", ITEM_DATALOG, ("item",)
+        )
+        out = entry.wrapper.wrap_html_many(["<ul><li>a<li>b</ul>"])[0]
+        assert out.to_sexpr() == "result(item, item)"
+        # The refreshed pickle is valid again.
+        refreshed = pickle.loads(pkl.read_bytes())
+        assert refreshed["source_hash"] == entry.source_hash
+
+    def test_corrupt_pickle_is_recompiled_from_spec(self, tmp_path):
+        cache_dir = tmp_path / "wrappers"
+        registry = WrapperRegistry(cache_dir)
+        registry.register("items", ITEM_DATALOG, kind="datalog", patterns=["item"])
+        (cache_dir / "items@1.pkl").write_bytes(b"not a pickle")
+        reloaded = WrapperRegistry(cache_dir)
+        out = reloaded.resolve("items").wrapper.wrap_html_many(["<ul><li>x</ul>"])[0]
+        assert out.to_sexpr() == "result(item)"
+
+
+class TestShardExecutor:
+    def test_content_hash_routing_is_deterministic(self):
+        executor = ShardExecutor(shards=0)
+        try:
+            pages = [catalog_page(seed=s, items=2) for s in range(8)]
+            routes = [executor.shard_for(content_hash(p)) for p in pages]
+            assert routes == [executor.shard_for(content_hash(p)) for p in pages]
+            assert all(r == 0 for r in routes)  # single shard
+        finally:
+            executor.close()
+
+    def test_inline_shard_runs_installed_wrapper(self):
+        executor = ShardExecutor(shards=0)
+        try:
+            wrapper, _ = build_wrapper("datalog", ITEM_DATALOG, ["item"])
+            for future in executor.ensure_installed("k", wrapper):
+                future.result(timeout=10)
+            # Installs are idempotent: no new futures the second time.
+            assert executor.ensure_installed("k", wrapper) == []
+            result = executor.submit(0, "k", ["<ul><li>a</ul>"]).result(timeout=10)
+            assert result[0]["children"][0]["label"] == "item"
+        finally:
+            executor.close()
+
+    def test_process_shard_self_heals_after_worker_death(self):
+        import os
+        import signal
+
+        executor = ShardExecutor(shards=1)
+        try:
+            wrapper, _ = build_wrapper("datalog", ITEM_DATALOG, ["item"])
+            for future in executor.ensure_installed("k", wrapper):
+                future.result(timeout=30)
+            executor.submit(0, "k", ["<ul><li>a</ul>"]).result(timeout=30)
+            shard = executor._shards[0]
+            for pid in list(shard.pool._processes):
+                os.kill(pid, signal.SIGKILL)
+            healed = False
+            for _ in range(10):
+                try:
+                    for future in executor.ensure_installed("k", wrapper):
+                        future.result(timeout=30)
+                    out = executor.submit(0, "k", ["<ul><li>b</ul>"]).result(
+                        timeout=30
+                    )
+                    healed = True
+                    break
+                except Exception:
+                    time.sleep(0.05)
+            assert healed
+            assert out[0]["children"][0]["label"] == "item"
+        finally:
+            executor.close()
+
+    def test_installed_wrappers_are_lru_bounded(self):
+        executor = ShardExecutor(shards=0, max_installed=2)
+        try:
+            wrapper, _ = build_wrapper("datalog", ITEM_DATALOG, ["item"])
+            for key in ("k1", "k2", "k3"):
+                for future in executor.ensure_installed(key, wrapper):
+                    future.result(timeout=10)
+            shard = executor._shards[0]
+            assert list(shard.installed) == ["k2", "k3"]
+            # The evicted key errors once, then re-installs on demand.
+            with pytest.raises(ServeError):
+                executor.submit(0, "k1", ["<ul><li>x</ul>"]).result(timeout=10)
+            for future in executor.ensure_installed("k1", wrapper):
+                future.result(timeout=10)
+            out = executor.submit(0, "k1", ["<ul><li>x</ul>"]).result(timeout=10)
+            assert out[0]["children"][0]["label"] == "item"
+        finally:
+            executor.close()
+
+    def test_uninstalled_key_errors(self):
+        executor = ShardExecutor(shards=0)
+        try:
+            with pytest.raises(ServeError):
+                executor.submit(0, "ghost", ["<p>x</p>"]).result(timeout=10)
+        finally:
+            executor.close()
+
+
+class TestResultCache:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None and len(cache) == 0
+
+
+class TestServerEndToEnd:
+    def _register_catalog(self, host, port):
+        status, data = request(
+            host, port, "POST", "/wrappers",
+            {
+                "name": "catalog",
+                "source": CATALOG_WRAPPER,
+                "kind": "elog",
+                "patterns": ["record", "name", "price"],
+            },
+        )
+        assert status == 201, data
+        assert data["name"] == "catalog" and data["version"] == 1
+        return data
+
+    def test_register_extract_batch_and_metrics(self, running_server):
+        host, port, server = running_server
+        self._register_catalog(host, port)
+
+        status, listing = request(host, port, "GET", "/wrappers")
+        assert status == 200
+        assert [w["name"] for w in listing["wrappers"]] == ["catalog"]
+
+        page = catalog_page(seed=7, items=3)
+        status, data = request(
+            host, port, "POST", "/extract/catalog", {"html": page}
+        )
+        assert status == 200
+        wrapper, _ = build_wrapper(
+            "elog", CATALOG_WRAPPER, ["record", "name", "price"]
+        )
+        expected = wrapper.wrap_html_many([page])[0].to_dict()
+        assert data["result"] == expected
+        assert data["wrapper"] == "catalog" and data["version"] == 1
+
+        # Same document again: served from the content-hash cache.
+        status, data2 = request(
+            host, port, "POST", "/extract/catalog@1", {"html": page}
+        )
+        assert status == 200 and data2["result"] == expected
+        status, metrics = request(host, port, "GET", "/metrics")
+        assert metrics["counters"]["cache_hits"] >= 1
+        assert metrics["counters"]["cache_misses"] == 1
+        assert metrics["latency"]["count"] >= 2
+        assert metrics["latency"]["p50_ms"] <= metrics["latency"]["p95_ms"]
+
+        # /batch matches per-document wrapping, and dedupes repeats.
+        pages = [catalog_page(seed=s, items=2) for s in (1, 2)] + [page]
+        status, batch = request(
+            host, port, "POST", "/batch",
+            {"wrapper": "catalog", "documents": pages},
+        )
+        assert status == 200
+        direct = [out.to_dict() for out in wrapper.wrap_html_many(pages)]
+        assert batch["results"] == direct
+
+        status, health = request(host, port, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        assert health["wrappers"] == 1
+
+    def test_unknown_routes_wrappers_and_bad_bodies(self, running_server):
+        host, port, _ = running_server
+        assert request(host, port, "GET", "/nope")[0] == 404
+        assert request(
+            host, port, "POST", "/extract/ghost", {"html": "<p>x</p>"}
+        )[0] == 404
+        assert request(host, port, "POST", "/extract/ghost", {})[0] == 400
+        assert request(
+            host, port, "POST", "/batch", {"wrapper": 3, "documents": "x"}
+        )[0] == 400
+        assert request(host, port, "POST", "/wrappers", {"name": "x"})[0] == 400
+        status, _ = request(
+            host, port, "POST", "/wrappers",
+            {"name": "bad name!", "source": ITEM_DATALOG, "kind": "datalog"},
+        )
+        assert status == 400
+        # Unparsable wrapper source is a client error, not a 500.
+        status, body = request(
+            host, port, "POST", "/wrappers",
+            {"name": "w", "source": "item(x :- label_li(x).", "kind": "datalog"},
+        )
+        assert status == 400, body
+        assert request(host, port, "PUT", "/wrappers", {})[0] == 405
+
+    def test_oversized_request_line_gets_400(self, running_server):
+        import socket
+
+        host, port, _ = running_server
+        with socket.create_connection((host, port), timeout=10) as raw:
+            raw.sendall(b"GET /" + b"a" * 70000 + b" HTTP/1.1\r\n\r\n")
+            response = raw.recv(4096)
+        assert b"400" in response.split(b"\r\n", 1)[0]
+        # The server survived the oversized request.
+        assert request(host, port, "GET", "/healthz")[0] == 200
+
+    def test_backpressure_returns_503(self, tmp_path):
+        registry = WrapperRegistry()
+        registry.register("items", ITEM_DATALOG, kind="datalog", patterns=["item"])
+        server = ExtractionServer(
+            registry, port=0, shards=0,
+            max_pending=2, max_batch=64, max_delay=0.5,
+        )
+        thread = ServerThread(server)
+        host, port = thread.start()
+        try:
+            def one(i):
+                return request(
+                    host, port, "POST", "/extract/items",
+                    {"html": f"<ul><li>doc {i}</li></ul>"},
+                )[0]
+
+            with concurrent.futures.ThreadPoolExecutor(6) as pool:
+                statuses = list(pool.map(one, range(6)))
+            assert statuses.count(503) >= 1, statuses
+            assert statuses.count(200) >= 2, statuses
+            status, metrics = request(host, port, "GET", "/metrics")
+            assert metrics["counters"]["rejected"] >= 1
+        finally:
+            thread.stop()
+
+    def test_extraction_rejected_once_shutdown_begins(self, running_server):
+        host, port, server = running_server
+        self._register_catalog(host, port)
+        server._stopping = True
+        try:
+            status, body = request(
+                host, port, "POST", "/extract/catalog",
+                {"html": "<html><body><p>x</p></body></html>"},
+            )
+            assert status == 503, body
+        finally:
+            server._stopping = False
+
+    def test_registry_persists_across_server_restart(self, tmp_path):
+        cache_dir = tmp_path / "registry"
+        page = "<ul><li>alpha<li>beta</ul>"
+
+        first = ExtractionServer(WrapperRegistry(cache_dir), port=0, shards=0)
+        thread = ServerThread(first)
+        host, port = thread.start()
+        try:
+            status, _ = request(
+                host, port, "POST", "/wrappers",
+                {"name": "items", "source": ITEM_DATALOG, "kind": "datalog",
+                 "patterns": ["item"]},
+            )
+            assert status == 201
+            status, before = request(
+                host, port, "POST", "/extract/items", {"html": page}
+            )
+            assert status == 200
+        finally:
+            thread.stop()
+
+        # Fresh process-equivalent: new registry warm-loads the pickle.
+        second = ExtractionServer(WrapperRegistry(cache_dir), port=0, shards=0)
+        thread = ServerThread(second)
+        host, port = thread.start()
+        try:
+            status, listing = request(host, port, "GET", "/wrappers")
+            assert status == 200
+            assert [w["name"] for w in listing["wrappers"]] == ["items"]
+            status, after = request(
+                host, port, "POST", "/extract/items", {"html": page}
+            )
+            assert status == 200
+            assert after["result"] == before["result"]
+            status, metrics = request(host, port, "GET", "/metrics")
+            assert metrics["counters"]["cache_misses"] == 1  # recomputed once
+        finally:
+            thread.stop()
+
+    def test_process_shards_serve_and_shut_down(self):
+        registry = WrapperRegistry()
+        registry.register(
+            "catalog", CATALOG_WRAPPER, kind="elog",
+            patterns=["record", "name", "price"],
+        )
+        server = ExtractionServer(registry, port=0, shards=1)
+        thread = ServerThread(server)
+        host, port = thread.start()
+        try:
+            page = catalog_page(seed=11, items=2)
+            status, data = request(
+                host, port, "POST", "/extract/catalog", {"html": page}
+            )
+            assert status == 200
+            labels = [c["label"] for c in data["result"]["children"]]
+            assert labels.count("record") == 2
+        finally:
+            thread.stop()
+        # The port is released after a graceful stop.
+        with pytest.raises(OSError):
+            probe = http.client.HTTPConnection(host, port, timeout=2)
+            try:
+                probe.request("GET", "/healthz")
+                probe.getresponse()
+            finally:
+                probe.close()
+
+    def test_micro_batching_coalesces_concurrent_requests(self):
+        registry = WrapperRegistry()
+        registry.register("items", ITEM_DATALOG, kind="datalog", patterns=["item"])
+        server = ExtractionServer(
+            registry, port=0, shards=0, max_batch=8, max_delay=0.05,
+            max_pending=64,
+        )
+        thread = ServerThread(server)
+        host, port = thread.start()
+        try:
+            def one(i):
+                return request(
+                    host, port, "POST", "/extract/items",
+                    {"html": f"<ul><li>item {i}</li></ul>"},
+                )
+
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                results = list(pool.map(one, range(8)))
+            assert all(status == 200 for status, _ in results)
+            texts = {
+                body["result"]["children"][0]["text"] for _, body in results
+            }
+            assert texts == {f"item {i}" for i in range(8)}
+            status, metrics = request(host, port, "GET", "/metrics")
+            # Coalescing happened: fewer flushes than requests.
+            assert metrics["batches"]["count"] < 8
+            assert metrics["batches"]["max_size"] >= 2
+        finally:
+            thread.stop()

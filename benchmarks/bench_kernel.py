@@ -14,20 +14,36 @@ of the timed region):
 
 The kernel should dominate the compiled path at every size and scale
 linearly: time roughly doubles when the document doubles.
+
+The kernel itself is measured through both of its engines: the big-int
+frontier-at-a-time evaluator (the default) and the scalar Dowling-Gallier
+worklist it falls back to, plus a deep-chain workload (depth >> breadth)
+where single-bit frontiers hand off to the scalar engine mid-run.
 """
 
 import pytest
 
+import repro.datalog.kernel as kernel_mod
 from repro.datalog.engine import compile_program, evaluate
+from repro.datalog.parser import parse_program
 from repro.elog.parser import parse_elog
 from repro.elog.translate import elog_to_datalog
 from repro.html import parse_html
 from repro.structures import as_indexed
 from repro.tmnf import to_tmnf
+from repro.trees.generate import chain_tree
 from repro.trees.unranked import UnrankedStructure
 from repro.workloads import CATALOG_WRAPPER as _WRAPPER, catalog_page
 
 _SIZES = [40, 80, 160, 320, 640]
+
+# Root-to-leaf descent: on a chain every round advances one node, the
+# worst case for frontier-at-a-time and the best case for the worklist.
+_DEEP_PROGRAM = """
+mark(x) :- root(x).
+mark(y) :- mark(x), child(x, y).
+deep(x) :- mark(x), leaf(x).
+"""
 
 
 def _indexed(items: int):
@@ -64,6 +80,33 @@ def test_tmnf_ground_oracle_scaling(benchmark, items):
     structure = _indexed(items)
     result = benchmark(evaluate, normalized, structure, "ground")
     assert len(result.query_result()) >= items
+
+
+@pytest.mark.parametrize("engine", ["frontier", "worklist"])
+@pytest.mark.parametrize("items", _SIZES)
+def test_kernel_engine_matrix(benchmark, items, engine):
+    """Frontier-at-a-time vs the scalar worklist on the same fixpoint."""
+    compiled = compile_program(elog_to_datalog(parse_elog(_WRAPPER, query="price")))
+    structure = _indexed(items)
+    saved = kernel_mod.VECTORIZE_PROPAGATION
+    kernel_mod.VECTORIZE_PROPAGATION = engine == "frontier"
+    try:
+        warm = compiled.run(structure, method="kernel")
+        assert warm.engine == engine
+        result = benchmark(compiled.run, structure, "kernel")
+        assert len(result.query_result()) >= items
+    finally:
+        kernel_mod.VECTORIZE_PROPAGATION = saved
+
+
+@pytest.mark.parametrize("depth", [1000, 2000])
+def test_kernel_deep_chain(benchmark, depth):
+    """Deep-tree workload: single-bit frontiers bail out to the worklist."""
+    compiled = compile_program(parse_program(_DEEP_PROGRAM, query="deep"))
+    structure = as_indexed(UnrankedStructure(chain_tree(depth)))
+    compiled.run(structure, method="kernel")  # warm the columnar snapshot
+    result = benchmark(compiled.run, structure, "kernel")
+    assert result.query_result() == {depth - 1}
 
 
 @pytest.mark.parametrize("items", [320])

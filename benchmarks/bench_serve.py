@@ -20,9 +20,10 @@ Three measurements, written to ``benchmarks/BENCH_serve.json``:
   many users asking for the same live pages at once); the ``distinct``
   stream has no repeats and isolates the pure coalescing win.  Caching
   is *disabled* in both so the batcher itself is what is measured.  At
-  concurrency 1 batching cannot help (the row records the deadline cost
-  honestly); at concurrency >= 8 the acceptance bar is >= 2x on the hot
-  stream (``speedup_batched``).
+  concurrency 1 the batcher's adaptive bypass evaluates immediately
+  instead of waiting out the flush deadline, so the bar there is >=
+  0.95x naive; at concurrency >= 8 the acceptance bar is >= 2x on the
+  hot stream (``speedup_batched``).
 * **cold vs warm cache**: the same distinct documents twice through a
   cache-enabled batcher; the warm pass answers from the content-hash LRU
   without tokenizing or running a fixpoint (bar: >= 10x).
@@ -149,7 +150,12 @@ async def bench_stack(requests: int, repeat: int, shards: int):
                 )
                 naive_s = batched_s = float("inf")
                 reference = batched_out = None
-                for _ in range(repeat):
+                # At concurrency 1 both paths are a bare worker round trip
+                # apart (~65ms per phase), so scheduler noise swings the
+                # ratio more than anywhere else: take extra interleaved
+                # repetitions there so min-of-N finds a quiet window for
+                # naive and batched alike.
+                for _ in range(repeat * 2 if concurrency == 1 else repeat):
                     elapsed, out = await run_naive(
                         executor, entry, pages, concurrency
                     )

@@ -38,7 +38,12 @@ from repro.paper import even_a_program
 from repro.qa.examples import a_beta_qa
 from repro.qa.to_datalog import ranked_qa_to_datalog
 from repro.tmnf import to_tmnf
-from repro.trees.generate import complete_binary_tree, flat_tree, random_tree
+from repro.trees.generate import (
+    chain_tree,
+    complete_binary_tree,
+    flat_tree,
+    random_tree,
+)
 from repro.trees.ranked import RankedStructure
 from repro.trees.unranked import UnrankedStructure
 from repro.workloads import CATALOG_WRAPPER, catalog_page, catalog_pages
@@ -229,6 +234,59 @@ def report_compiled(smoke: bool = False) -> None:
     print(f"    wrote {out_path}")
 
 
+def _timed_kernel_pair(compiled, indexed, repeat: int):
+    """Best-of-N kernel timings through both engines, interleaved.
+
+    Alternates one frontier run with one worklist run inside each
+    repetition so both engines sample the same machine-noise windows --
+    the reported ratio is then robust to load drift (same scheme as the
+    streaming report).  Returns ``(vector_s, scalar_s, vector_out,
+    scalar_out)``; the ambient flag is restored afterwards.
+    """
+    import repro.datalog.kernel as kernel_mod
+
+    saved = kernel_mod.VECTORIZE_PROPAGATION
+    try:
+        kernel_mod.VECTORIZE_PROPAGATION = True
+        compiled.run(indexed, method="kernel")  # warm snapshot + vector plan
+        vector_s = scalar_s = float("inf")
+        vector_out = scalar_out = None
+        for _ in range(max(repeat, 3) * 2):
+            kernel_mod.VECTORIZE_PROPAGATION = True
+            start = time.perf_counter()
+            vector_out = compiled.run(indexed, method="kernel")
+            vector_s = min(vector_s, time.perf_counter() - start)
+            kernel_mod.VECTORIZE_PROPAGATION = False
+            start = time.perf_counter()
+            scalar_out = compiled.run(indexed, method="kernel")
+            scalar_s = min(scalar_s, time.perf_counter() - start)
+        return vector_s, scalar_s, vector_out, scalar_out
+    finally:
+        kernel_mod.VECTORIZE_PROPAGATION = saved
+
+
+def _assert_scalar_fallback_exercised() -> None:
+    """CI guard: constant-anchored blocks must still ride the worklist.
+
+    The frontier engine deliberately excludes ``cbind``/``ccheck`` blocks;
+    if that fallback ever stops engaging (e.g. the vector planner starts
+    accepting programs it cannot evaluate correctly), the parity oracle
+    for those shapes is gone and the smoke job must fail loudly.
+    """
+    from repro.datalog.kernel import compile_kernel
+    from repro.datalog.parser import parse_program
+    from repro.trees import parse_sexpr
+
+    kernel = compile_kernel(parse_program("p(x) :- firstchild(0, x).", query="p"))
+    out = kernel.run(UnrankedStructure(parse_sexpr("a(b, c)")))
+    if out["p"] != {(1,)} or kernel.last_engine != "worklist":
+        raise SystemExit(
+            "scalar fallback no longer exercised: constant-anchored program "
+            f"ran via {kernel.last_engine!r} and derived {out['p']!r}"
+        )
+    print("    scalar-fallback guard: constant-anchored block -> worklist ok")
+
+
 def report_kernel(smoke: bool = False) -> None:
     """Propagation kernel vs compiled joins vs interpreted evaluation.
 
@@ -238,8 +296,20 @@ def report_kernel(smoke: bool = False) -> None:
     ``kernel_time(this row) / kernel_time(previous row)`` across a
     doubling item sweep, which should stay near 2.0 for a linear-time
     engine (Theorem 4.2 / Corollary 6.4).
+
+    The kernel is timed through both engines -- the big-int
+    frontier-at-a-time evaluator (``kernel_vector_s``) and the scalar
+    Dowling-Gallier worklist (``kernel_scalar_s``) -- with their ratio in
+    ``vector_vs_scalar``; the headline ``kernel_s`` column follows the
+    ambient ``REPRO_VECTORIZE_PROPAGATION`` flag so the CI matrix uploads
+    one artifact per engine.  ``deep_rows`` adds a chain workload (depth
+    >> breadth, the document-spanner successor shape) where single-bit
+    frontiers must hand off to the worklist instead of going quadratic.
     """
+    import repro.datalog.kernel as kernel_mod
+
     print("== E-KERNEL: linear-time propagation kernel (Thm 4.2 hot path) ==")
+    ambient_vectorize = kernel_mod.VECTORIZE_PROPAGATION
     datalog = elog_to_datalog(parse_elog(CATALOG_WRAPPER, query="price"))
     compiled = compile_program(datalog)
     rows = []
@@ -256,16 +326,27 @@ def report_kernel(smoke: bool = False) -> None:
         compiled_s, compiled_out = _timed(
             compiled.run, indexed, "seminaive", repeat=repeat
         )
-        compiled.run(indexed, method="kernel")  # warm the columnar snapshot
-        kernel_s, kernel_out = _timed(compiled.run, indexed, "kernel", repeat=repeat)
+        vector_s, scalar_s, vector_out, scalar_out = _timed_kernel_pair(
+            compiled, indexed, repeat=repeat
+        )
+        if vector_out.engine != "frontier" or scalar_out.engine != "worklist":
+            raise SystemExit(
+                f"unexpected kernel engines on items={items}: "
+                f"{vector_out.engine!r} / {scalar_out.engine!r}"
+            )
         if not (
-            kernel_out.relations == compiled_out.relations == interpreted_out
+            vector_out.relations
+            == scalar_out.relations
+            == compiled_out.relations
+            == interpreted_out
         ):
             raise SystemExit(
-                f"kernel/compiled/interpreted disagree on items={items}; "
+                f"kernel engines/compiled/interpreted disagree on items={items}; "
                 "refusing to report timings"
             )
+        kernel_s = vector_s if ambient_vectorize else scalar_s
         speedup = compiled_s / kernel_s if kernel_s else float("inf")
+        vector_vs_scalar = scalar_s / vector_s if vector_s else float("inf")
         linearity = (
             round(kernel_s / previous_kernel_s, 2)
             if previous_kernel_s
@@ -279,18 +360,91 @@ def report_kernel(smoke: bool = False) -> None:
                 "interpreted_s": interpreted_s,
                 "compiled_s": compiled_s,
                 "kernel_s": kernel_s,
+                "kernel_vector_s": vector_s,
+                "kernel_scalar_s": scalar_s,
+                "vector_vs_scalar": round(vector_vs_scalar, 2),
                 "speedup_vs_compiled": round(speedup, 2),
                 "linearity": linearity,
             }
         )
         print(
             f"    items={items:>4} dom={structure.size:>6}  "
-            f"interpreted t={interpreted_s * 1e3:8.2f} ms   "
             f"compiled t={compiled_s * 1e3:8.2f} ms   "
-            f"kernel t={kernel_s * 1e3:8.2f} ms   "
-            f"speedup={speedup:5.2f}x   "
+            f"kernel scalar t={scalar_s * 1e3:8.2f} ms   "
+            f"vector t={vector_s * 1e3:8.2f} ms   "
+            f"vector/scalar={vector_vs_scalar:5.2f}x   "
             f"t(2n)/t(n)={linearity if linearity is not None else '  --'}"
         )
+    # Deep-tree workload: a root-to-leaf descent over a unary chain.  Every
+    # frontier is a single node, so the vector engine's narrow-frontier
+    # bailout must hand the run to the worklist instead of paying one
+    # whole-domain big-int round per chain node.
+    from repro.datalog.parser import parse_program
+
+    deep_program = parse_program(
+        """
+        mark(x) :- root(x).
+        mark(y) :- mark(x), child(x, y).
+        deep(x) :- mark(x), leaf(x).
+        """,
+        query="deep",
+    )
+    deep_compiled = compile_program(deep_program)
+    deep_rows = []
+    depths = (500, 1000) if smoke else (1000, 2000, 4000)
+    previous_deep_s = None
+    for depth in depths:
+        indexed = as_indexed(UnrankedStructure(chain_tree(depth)))
+        vector_s, scalar_s, vector_out, scalar_out = _timed_kernel_pair(
+            deep_compiled, indexed, repeat=repeat
+        )
+        if vector_out.relations != scalar_out.relations:
+            raise SystemExit(
+                f"kernel engines disagree on the depth={depth} chain"
+            )
+        if vector_out.query_result() != {depth - 1}:
+            raise SystemExit(f"wrong answer on the depth={depth} chain")
+        vector_vs_scalar = scalar_s / vector_s if vector_s else float("inf")
+        deep_s = vector_s if ambient_vectorize else scalar_s
+        linearity = (
+            round(deep_s / previous_deep_s, 2) if previous_deep_s else None
+        )
+        previous_deep_s = deep_s
+        deep_rows.append(
+            {
+                "depth": depth,
+                "kernel_s": deep_s,
+                "kernel_vector_s": vector_s,
+                "kernel_scalar_s": scalar_s,
+                "vector_vs_scalar": round(vector_vs_scalar, 2),
+                "vector_engine": vector_out.engine,
+                "linearity": linearity,
+            }
+        )
+        print(
+            f"    chain depth={depth:>5}  "
+            f"kernel scalar t={scalar_s * 1e3:8.2f} ms   "
+            f"vector t={vector_s * 1e3:8.2f} ms   "
+            f"vector/scalar={vector_vs_scalar:5.2f}x   "
+            f"engine={vector_out.engine}   "
+            f"t(2n)/t(n)={linearity if linearity is not None else '  --'}"
+        )
+    if not smoke:
+        # Empirical linearity: doubling the document must not much more
+        # than double the time (noise allowance on millisecond rows).
+        for row in rows[2:]:
+            if row["linearity"] is not None and row["linearity"] > 3.2:
+                raise SystemExit(
+                    f"kernel linearity broken on the catalog sweep: "
+                    f"t(2n)/t(n)={row['linearity']} at items={row['items']}"
+                )
+        for row in deep_rows[1:]:
+            if row["linearity"] is not None and row["linearity"] > 3.2:
+                raise SystemExit(
+                    f"kernel linearity broken on the chain sweep: "
+                    f"t(2n)/t(n)={row['linearity']} at depth={row['depth']}"
+                )
+    _assert_scalar_fallback_exercised()
     payload = {
         "experiment": "kernel_vs_compiled_vs_interpreted",
         "workload": "elog catalog wrapper (E-C6.4 sweep, doubling items)",
@@ -298,9 +452,13 @@ def report_kernel(smoke: bool = False) -> None:
             "interpreted": "repro.datalog.seminaive.evaluate_seminaive",
             "compiled": "repro.datalog.plan.CompiledProgram.run(seminaive)",
             "kernel": "repro.datalog.kernel (CompiledProgram.run(kernel))",
+            "kernel_vector": "frontier-at-a-time big-int propagation",
+            "kernel_scalar": "Dowling-Gallier worklist (VECTORIZE_PROPAGATION=0)",
         },
+        "vectorize_default": ambient_vectorize,
         "smoke": smoke,
         "rows": rows,
+        "deep_rows": deep_rows,
     }
     out_path = pathlib.Path(__file__).resolve().parent / "BENCH_kernel.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -465,7 +623,12 @@ def report_t66() -> None:
 
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv[1:]
-    if smoke:
+    if "--kernel-only" in sys.argv[1:]:
+        # The CI engine matrix re-runs just the kernel sweep under each
+        # REPRO_VECTORIZE_PROPAGATION setting; everything else is
+        # engine-independent and measured once by the main smoke job.
+        report_kernel(smoke=smoke)
+    elif smoke:
         report_compiled(smoke=True)
         report_kernel(smoke=True)
         report_stream(smoke=True)

@@ -46,11 +46,37 @@ it just never builds the counter table or any ground rule).
 programs over tree-backed structures; :mod:`repro.datalog.grounding` stays
 as the cross-check oracle (the test suite asserts kernel == ground ==
 seminaive == compiled-plan on randomized programs and trees).
+
+Frontier-at-a-time evaluation
+-----------------------------
+
+On top of the scalar worklist this module carries a second engine that
+eliminates the per-(pred, node) Python pop entirely: every derived unary
+predicate is one byte-lane big int over preorder node ids (byte ``v`` is
+1 when the predicate holds at node ``v``, matching the snapshot's unary
+byte masks bit for bit), and a whole ``(pred, node-set)`` frontier is
+advanced per round.  Rule bodies become straight-line set programs --
+tree moves are the snapshot's precomputed shift-class/byte-gather maps
+(:meth:`repro.trees.snapshot.TreeSnapshot.vector_move`), unary guards and
+intensional tests are big-int ``&`` -- evaluated as a Yannakakis-style
+semijoin sweep over the rule's move tree (forward pass; plus a backward
+and a second forward pass when the head slot is not the tip of a chain).
+A round processes every predicate with a non-empty frontier and ends when
+no new facts appear.  Blocks the set form cannot express (constant
+anchors and ``cbind`` / ``ccheck`` equality pins, ``bcheck`` cycle edges,
+0-ary predicates, gated re-sweeps, or a move whose map has no linear bulk
+form) make the whole lowering fall back to the scalar worklist -- which
+also takes over mid-run when the frontier stays narrow for many rounds
+(deep-chain propagation derives one node per round, where big-int sweeps
+over the full domain would turn linear work quadratic).  The scalar path
+doubles as the parity oracle: tests flip :data:`VECTORIZE_PROPAGATION`
+and assert identical output.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import re
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
@@ -69,8 +95,28 @@ Relations = Dict[str, Set[Tuple[int, ...]]]
 #: flip this flag to assert exact parity between the two.
 VECTORIZE_SWEEPS = True
 
+#: Module switch for frontier-at-a-time propagation (big-int node sets
+#: advanced whole rounds at a time).  Off, or whenever a lowering contains
+#: an op the set form cannot express, evaluation uses the scalar worklist
+#: -- the parity oracle.  Overridable via ``REPRO_VECTORIZE_PROPAGATION``.
+VECTORIZE_PROPAGATION = os.environ.get(
+    "REPRO_VECTORIZE_PROPAGATION", "1"
+).lower() not in ("0", "false", "no", "off")
+
+#: Adaptive bailout: when a round pushes at most this many new facts...
+_NARROW_FRONTIER = 4
+#: ...for this many consecutive rounds, the frontier engine hands the
+#: partial fixpoint to the scalar worklist (narrow frontiers make whole-
+#: domain big-int sweeps quadratic; the worklist finishes in linear time).
+#: Wide workloads (the catalog sweep) never hit a narrow round at all, so
+#: a short fuse only costs runs that genuinely oscillate narrow-then-wide.
+_NARROW_ROUND_LIMIT = 8
+
 #: Matches every node whose byte survived the mask conjunction.
 _NONZERO = re.compile(rb"[^\x00]")
+
+#: Unbound method for C-speed survivor extraction (``map`` over matches).
+_MATCH_START = re.Match.start
 
 #: Binary relation names the kernel can traverse.  Generic ``child`` is
 #: backward-functional (parent) with forward traversal by enumeration over
@@ -155,6 +201,205 @@ class _Block:
         )
 
 
+class _VBlock:
+    """One rule body as a straight-line big-int set program.
+
+    ``slot_init`` holds each slot's static unary-mask conjunction
+    (``None`` = unconstrained), ``preds`` the intensional ``&`` tests,
+    and ``sched`` the move schedule: the rule's move tree re-rooted at
+    the head slot, each edge traversed exactly once toward the head as
+    ``sets[dst] &= fn(sets[src])`` -- the one-pass Yannakakis semijoin
+    sweep that leaves the head slot's set exact.
+    """
+
+    __slots__ = (
+        "entry",
+        "entry_int",
+        "nslots",
+        "slot_init",
+        "preds",
+        "sched",
+        "head_pred",
+        "head_slot",
+    )
+
+
+def _vector_block(block: _Block, snapshot) -> Optional[_VBlock]:
+    """Compile one block to its set form, or ``None`` to fall back.
+
+    Rejected: constant machinery (``cbind`` / ``ccheck`` and the gated
+    re-sweeps), ``bcheck`` edges (a cycle in the move tree breaks the
+    semijoin argument), 0-ary heads and ``gbit`` tests, unsupported
+    relations, and moves whose toward-head direction has no linear bulk
+    form (the image through a broad tree's ``parent`` map).
+    """
+    if block.gate is not None or block.head_slot < 0:
+        return None
+    nslots = max(block.nslots, 1)
+    slot_init: List[Optional[int]] = [None] * nslots
+    preds: List[Tuple[int, int]] = []
+    moves: List[tuple] = []
+    for op in block.ops:
+        kind = op[0]
+        if kind == "step" or kind == "branch":
+            if kind == "step":
+                _, rel, forward, f, t = op
+            else:
+                _, rel, f, t = op
+                forward = True
+            move = snapshot.vector_move(rel, forward)
+            if move is None:
+                return None
+            moves.append((move, f, t))
+        elif kind == "ubit":
+            _, name, f = op
+            mask = snapshot.unary_int(name)
+            if mask is None:
+                return None
+            held = slot_init[f]
+            slot_init[f] = mask if held is None else held & mask
+        elif kind == "ibit":
+            _, pred, f = op
+            preds.append((f, pred))
+        else:
+            return None
+    head = block.head_slot
+    if not moves and head != block.start:
+        return None
+    # Re-root the move tree at the head slot: breadth-first from the head
+    # over the undirected edges, each edge directed toward the head (the
+    # entry-to-head path keeps its forward orientation, everything else
+    # flips to the preimage), emitted farthest-first.
+    adjacency: Dict[int, List[tuple]] = {}
+    for entry_move in moves:
+        _move, f, t = entry_move
+        adjacency.setdefault(f, []).append(entry_move)
+        adjacency.setdefault(t, []).append(entry_move)
+    sched: List[tuple] = []
+    seen = {head}
+    queue = deque((head,))
+    while queue:
+        u = queue.popleft()
+        for move, f, t in adjacency.get(u, ()):
+            other = t if f == u else f
+            if other in seen:
+                continue
+            seen.add(other)
+            fn = move[0] if u == t else move[1]
+            if fn is None:
+                return None
+            sched.append((fn, other, u))
+            queue.append(other)
+    if len(seen) - 1 != len(moves):
+        return None  # parallel edge between two slots: not a tree
+    constrained = {f for f, _ in preds} | {block.start}
+    constrained.update(i for i, m in enumerate(slot_init) if m is not None)
+    if not constrained <= seen:
+        return None  # a constrained slot the sweep would never consult
+    sched.reverse()
+    entry_int = None
+    if block.anchor is not None:
+        entry_int = snapshot.unary_int(
+            "dom" if block.anchor == "*" else block.anchor
+        )
+        if entry_int is None:
+            return None
+    vb = _VBlock()
+    vb.entry = block.start
+    vb.entry_int = entry_int
+    vb.nslots = nslots
+    vb.slot_init = tuple(slot_init)
+    vb.preds = tuple(preds)
+    vb.sched = tuple(sched)
+    vb.head_pred = block.head_pred
+    vb.head_slot = head
+    return vb
+
+
+def _vector_plan(variant: _Lowering, snapshot):
+    """``(vsweeps, vtriggers)`` for a lowering, or ``None``; snapshot-cached.
+
+    All-or-nothing: one inexpressible block anywhere sends the whole
+    lowering to the scalar worklist, so the two engines never interleave
+    within a fixpoint (except through the explicit narrow-frontier
+    handoff, which replays the exact derived state).
+    """
+    plans = snapshot._vector_plans
+    try:
+        return plans[variant]
+    except KeyError:
+        pass
+    plan = None
+    vsweeps = []
+    ok = variant.npreds > 0
+    for block in variant.sweeps:
+        vb = _vector_block(block, snapshot) if ok else None
+        if vb is None:
+            ok = False
+            break
+        vsweeps.append(vb)
+    if ok:
+        vtriggers: List[List[_VBlock]] = []
+        for group in variant.triggers:
+            rows = []
+            for block in group:
+                vb = _vector_block(block, snapshot)
+                if vb is None:
+                    ok = False
+                    break
+                rows.append(vb)
+            if not ok:
+                break
+            vtriggers.append(rows)
+    if ok:
+        plan = (vsweeps, vtriggers)
+    plans[variant] = plan
+    return plan
+
+
+def _run_vblock(
+    vb: _VBlock, entry_set: int, derived: List[int], full: int, memo: Dict
+) -> int:
+    """Node set derivable at the head slot, entering with ``entry_set``.
+
+    Initializes every slot to its static-mask/intensional conjunction
+    (``None`` = unconstrained), narrows the entry slot to ``entry_set``,
+    then runs the precomputed toward-head semijoin schedule.  A slot that
+    is still unconstrained when it feeds a move contributes the full
+    domain (its move then yields the map's definedness set).  ``memo``
+    caches ``(move, operand) -> image`` across the blocks of one round --
+    sibling rules triggered by the same frontier repeat the same moves
+    (e.g. both column extractors of a row enumerate the same children).
+    Returns the exact head-slot projection of the block's satisfying
+    assignments.
+    """
+    if not entry_set:
+        return 0
+    sets = list(vb.slot_init)
+    entry = vb.entry
+    held = sets[entry]
+    sets[entry] = entry_set if held is None else held & entry_set
+    for f, pred in vb.preds:
+        held = sets[f]
+        facts = derived[pred]
+        sets[f] = facts if held is None else held & facts
+    for fn, src, dst in vb.sched:
+        s = sets[src]
+        if s is None:
+            s = full
+        key = (id(fn), s)
+        moved = memo.get(key)
+        if moved is None:
+            moved = memo[key] = fn(s)
+        held = sets[dst]
+        s = moved if held is None else moved & held
+        if not s:
+            return 0
+        sets[dst] = s
+    out = sets[vb.head_slot]
+    return full if out is None else out
+
+
 class _Lowering:
     """One complete lowering of the source program along one route.
 
@@ -237,6 +482,10 @@ class KernelProgram:
         #: Lazily compiled ranked-TMNF lowerings, keyed by snapshot
         #: ``max_rank`` (``None`` where the route does not apply).
         self._ranked_cache: Dict[int, Optional[_Lowering]] = {}
+        #: Which engine the most recent :meth:`run` used: ``"frontier"``
+        #: (big-int rounds to fixpoint), ``"worklist"`` (scalar), or
+        #: ``"frontier+worklist"`` (narrow-frontier handoff mid-run).
+        self.last_engine: Optional[str] = None
         # Introspection mirrors of the primary (preferred) lowering.
         primary = self._variants[0]
         self.lowered = primary.lowered
@@ -495,6 +744,106 @@ class KernelProgram:
         return self._run_bound(bound)
 
     def _run_bound(self, bound) -> Tuple[Relations, Dict[str, Set[int]]]:
+        """Dispatch one bound lowering to the preferred engine."""
+        if VECTORIZE_PROPAGATION:
+            result = self._run_vector(bound)
+            if result is not None:
+                return result
+        self.last_engine = "worklist"
+        return self._run_scalar(bound)
+
+    def _run_vector(self, bound):
+        """Frontier-at-a-time fixpoint; ``None`` when the plan falls back.
+
+        Seeds come from the sweep blocks evaluated over their anchor
+        sets; each round then runs every trigger block of every predicate
+        whose frontier is non-empty, entering with the frontier itself
+        (the semi-naive delta -- other intensional tests in the same body
+        read the full ``derived`` sets, and completeness follows exactly
+        as for the worklist: each rule has one trigger block per body
+        occurrence, so the last-derived fact of any satisfied body always
+        re-enters the rule).  A persistently narrow frontier hands the
+        partial fixpoint to :meth:`_run_scalar` (see
+        :data:`_NARROW_ROUND_LIMIT`).
+        """
+        variant, snapshot, _sweeps, _triggers = bound
+        plan = _vector_plan(variant, snapshot)
+        if plan is None:
+            return None
+        vsweeps, vtriggers = plan
+        P = variant.npreds
+        full = snapshot.unary_int("dom")
+        derived = [0] * P
+        pending = [0] * P
+        has_triggers = [bool(group) for group in vtriggers]
+        # Move results are pure functions of their operand set, so one
+        # memo serves the whole fixpoint.
+        memo: Dict = {}
+        for vb in vsweeps:
+            add = _run_vblock(vb, vb.entry_int, derived, full, memo)
+            if add:
+                hp = vb.head_pred
+                new = add & ~derived[hp]
+                if new:
+                    derived[hp] |= new
+                    if has_triggers[hp]:
+                        pending[hp] |= new
+        narrow = 0
+        while True:
+            if not any(pending):
+                break
+            cur = pending
+            pending = [0] * P
+            for pred in range(P):
+                frontier = cur[pred]
+                if not frontier:
+                    continue
+                for vb in vtriggers[pred]:
+                    entry = (
+                        vb.entry_int if vb.entry_int is not None else frontier
+                    )
+                    add = _run_vblock(vb, entry, derived, full, memo)
+                    if add:
+                        hp = vb.head_pred
+                        new = add & ~derived[hp]
+                        if new:
+                            derived[hp] |= new
+                            if has_triggers[hp]:
+                                pending[hp] |= new
+            pushed = sum(f.bit_count() for f in pending)
+            if 0 < pushed <= _NARROW_FRONTIER:
+                narrow += 1
+                if narrow >= _NARROW_ROUND_LIMIT:
+                    self.last_engine = "frontier+worklist"
+                    return self._run_scalar(bound, resume=(derived, pending))
+            else:
+                narrow = 0
+        self.last_engine = "frontier"
+        return self._collect_vector(variant, snapshot, derived)
+
+    @staticmethod
+    def _collect_vector(variant, snapshot, derived):
+        """Materialize output relations from the derived big ints."""
+        relations: Relations = {
+            name: set() for name, _, _ in variant.outputs
+        }
+        unary_sets: Dict[str, Set[int]] = {}
+        size = snapshot.size
+        for name, pred, arity in variant.outputs:
+            if pred < 0 or arity != 1:
+                continue
+            ids: Set[int] = set()
+            packed = derived[pred]
+            if packed:
+                buffer = packed.to_bytes(size, "little")
+                ids = set(map(_MATCH_START, _NONZERO.finditer(buffer)))
+            unary_sets[name] = ids
+            relations[name] = set(zip(ids))
+        return relations, unary_sets
+
+    def _run_scalar(
+        self, bound, resume=None
+    ) -> Tuple[Relations, Dict[str, Set[int]]]:
         variant, snapshot, sweeps, triggers = bound
         P = variant.npreds
         outputs = variant.outputs
@@ -575,8 +924,37 @@ class KernelProgram:
                     if needs_push[head_pred]:
                         stack.append(-head_pred - 1)
 
+        if resume is not None:
+            # Adopt the frontier engine's partial fixpoint: every derived
+            # fact enters the per-node bitmasks (and output collections),
+            # and exactly the unprocessed frontier seeds the stack -- the
+            # worklist invariant ("each derived fact was popped or is on
+            # the stack") holds, so the loop below finishes the fixpoint
+            # without re-running the sweeps.
+            derived_ints, pending_ints = resume
+            for pred in range(P):
+                packed = derived_ints[pred]
+                if not packed:
+                    continue
+                bit = 1 << pred
+                collected = out_by_pred[pred]
+                for hit in _NONZERO.finditer(
+                    packed.to_bytes(domain_size, "little")
+                ):
+                    v = hit.start()
+                    masks[v] |= bit
+                    if collected is not None:
+                        collected.append(v)
+                packed = pending_ints[pred]
+                if packed and needs_push[pred]:
+                    for hit in _NONZERO.finditer(
+                        packed.to_bytes(domain_size, "little")
+                    ):
+                        stack.append(hit.start() * P + pred)
         vectorize = VECTORIZE_SWEEPS
-        for anchor, start, ops, head_pred, head_slot, vals, vector in sweeps:
+        for anchor, start, ops, head_pred, head_slot, vals, vector in (
+            () if resume is not None else sweeps
+        ):
             if vector is not None and vectorize:
                 # Vectorized seed enumeration: the whole sweep is a
                 # conjunction of unary byte masks, evaluated as one big
@@ -639,7 +1017,7 @@ class KernelProgram:
         unary_sets: Dict[str, Set[int]] = {}
         for name, collected in out_lists:
             unary_sets[name] = ids = set(collected)
-            relations[name] = {(v,) for v in ids}
+            relations[name] = set(zip(ids))
         gmask = gmask_cell[0]
         for name, pred, arity in outputs:
             if pred >= 0 and arity == 0 and (gmask >> pred) & 1:

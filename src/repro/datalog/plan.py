@@ -59,6 +59,11 @@ class EvaluationResult:
         ``"seminaive"``, or ``"naive"``).
     query:
         The program's query predicate, if any.
+    engine:
+        For ``method == "kernel"``, which propagation engine ran:
+        ``"frontier"`` (big-int frontier-at-a-time), ``"worklist"`` (scalar
+        Dowling–Gallier), or ``"frontier+worklist"`` (narrow-frontier
+        bailout).  ``None`` for the other strategies.
     """
 
     def __init__(
@@ -67,10 +72,12 @@ class EvaluationResult:
         method: str,
         query: Optional[str],
         unary_sets: Optional[Dict[str, Set[int]]] = None,
+        engine: Optional[str] = None,
     ):
         self.relations = relations
         self.method = method
         self.query = query
+        self.engine = engine
         #: Optional engine-supplied ``pred -> {node ids}`` sets (the
         #: propagation kernel produces them for free), so batch wrappers
         #: skip re-deriving them from the tuple sets.
@@ -574,7 +581,11 @@ class CompiledProgram:
                 if out is not None:
                     relations, unary_sets = out
                     return EvaluationResult(
-                        relations, "kernel", self.program.query, unary_sets
+                        relations,
+                        "kernel",
+                        self.program.query,
+                        unary_sets,
+                        engine=kernel.last_engine,
                     )
             method = "ground" if self.grounding_applicable(edb) else "seminaive"
 
@@ -593,7 +604,11 @@ class CompiledProgram:
                 )
             relations, unary_sets = out
             return EvaluationResult(
-                relations, "kernel", self.program.query, unary_sets
+                relations,
+                "kernel",
+                self.program.query,
+                unary_sets,
+                engine=kernel.last_engine,
             )
         if method == "ground":
             from repro.datalog.grounding import evaluate_ground

@@ -6,17 +6,29 @@ tokenizing, snapshot building and the kernel fixpoint entirely -- the
 whole request becomes one dictionary lookup.  Entries are treated as
 immutable by every consumer (handlers serialize them straight to JSON),
 so no defensive copying happens on either side.
+
+Two optional bounds beyond the entry-count capacity:
+
+* ``ttl`` -- entries older than this many seconds are treated as absent
+  and dropped on access, so a long-lived server re-extracts eventually
+  even for hot documents;
+* ``max_weight`` -- each entry carries a caller-supplied weight (the
+  serving layer passes the source document's length), and the cache
+  evicts in LRU order until the total weight fits.  One huge page can
+  therefore displace many small ones but never pin the cache: an entry
+  heavier than the whole budget is simply not stored.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from typing import Hashable, Optional
+from typing import Callable, Hashable, Optional, Tuple
 
 
 class ResultCache:
-    """A bounded thread-safe LRU map.
+    """A bounded thread-safe LRU map with optional TTL and weight budget.
 
     ``capacity <= 0`` disables caching entirely (every ``get`` misses).
 
@@ -31,34 +43,80 @@ class ResultCache:
     True
     >>> len(cache)
     2
+
+    >>> heavy = ResultCache(capacity=8, max_weight=10)
+    >>> heavy.put("small", 1, weight=4); heavy.put("big", 2, weight=9)
+    >>> heavy.get("small") is None     # evicted: 4 + 9 > 10
+    True
+    >>> heavy.put("huge", 3, weight=11)  # over the whole budget: not stored
+    >>> heavy.get("huge") is None and heavy.get("big") == 2
+    True
     """
 
-    def __init__(self, capacity: int = 512):
+    def __init__(
+        self,
+        capacity: int = 512,
+        ttl: Optional[float] = None,
+        max_weight: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.ttl = ttl
+        self.max_weight = max_weight
+        self._clock = clock if clock is not None else time.monotonic
+        #: key -> (value, expiry or None, weight)
+        self._entries: "OrderedDict[Hashable, Tuple[object, Optional[float], int]]" = (
+            OrderedDict()
+        )
+        self._weight = 0
         self._lock = threading.Lock()
 
     def get(self, key: Hashable) -> Optional[object]:
         if self.capacity <= 0:
             return None
         with self._lock:
-            value = self._entries.get(key)
-            if value is not None:
-                self._entries.move_to_end(key)
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            value, expiry, weight = entry
+            if expiry is not None and self._clock() >= expiry:
+                del self._entries[key]
+                self._weight -= weight
+                return None
+            self._entries.move_to_end(key)
             return value
 
-    def put(self, key: Hashable, value: object) -> None:
+    def put(self, key: Hashable, value: object, weight: int = 1) -> None:
         if self.capacity <= 0:
             return
+        weight = max(1, weight)
+        if self.max_weight is not None and weight > self.max_weight:
+            # Heavier than the entire budget: storing it would evict
+            # everything else and then be evicted by the next put anyway.
+            return
+        expiry = None if self.ttl is None else self._clock() + self.ttl
         with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._weight -= old[2]
+            self._entries[key] = (value, expiry, weight)
+            self._weight += weight
+            while len(self._entries) > self.capacity or (
+                self.max_weight is not None and self._weight > self.max_weight
+            ):
+                _, (_, _, evicted_weight) = self._entries.popitem(last=False)
+                self._weight -= evicted_weight
+
+    @property
+    def weight(self) -> int:
+        """Total weight of the entries currently stored."""
+        with self._lock:
+            return self._weight
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._weight = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -71,6 +71,9 @@ class ExtractionServer:
         max_delay: float = 0.010,
         max_pending: int = 256,
         cache_size: int = 512,
+        cache_ttl: Optional[float] = None,
+        cache_max_weight: Optional[int] = None,
+        bypass_concurrency: int = 1,
         max_body: int = 8 * 1024 * 1024,
         idle_timeout: float = 60.0,
     ):
@@ -78,11 +81,14 @@ class ExtractionServer:
         self.host = host
         self.port = port  # 0 -> ephemeral; set to the bound port by start()
         self.metrics = ServeMetrics()
-        self.cache = ResultCache(cache_size)
+        self.cache = ResultCache(
+            cache_size, ttl=cache_ttl, max_weight=cache_max_weight
+        )
         self._shard_count = shards
         self._max_batch = max_batch
         self._max_delay = max_delay
         self._max_pending = max_pending
+        self._bypass_concurrency = bypass_concurrency
         self.max_body = max_body
         self.idle_timeout = idle_timeout
         self.executor: Optional[ShardExecutor] = None
@@ -104,6 +110,7 @@ class ExtractionServer:
             max_batch=self._max_batch,
             max_delay=self._max_delay,
             max_pending=self._max_pending,
+            bypass_concurrency=self._bypass_concurrency,
         )
         try:
             self._server = await asyncio.start_server(

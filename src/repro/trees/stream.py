@@ -52,7 +52,7 @@ class SnapshotBuilder:
     >>> _ = b.leaf("c"); _ = b.open("b"); b.close()
     >>> snap = b.finish()
     >>> snap.parent
-    [-1, 0, 0, 0]
+    array('i', [-1, 0, 0, 0])
     >>> snap.labels
     ['a', 'b', 'c']
     """
@@ -398,7 +398,7 @@ def sexpr_snapshot(text: str) -> TreeSnapshot:
     """Parse s-expression tree syntax straight into snapshot columns.
 
     >>> sexpr_snapshot("a(b, c(d), b)").parent
-    [-1, 0, 0, 2, 0]
+    array('i', [-1, 0, 0, 2, 0])
     """
     from repro.trees.node import parse_sexpr
 

@@ -31,11 +31,11 @@ class TestTreeSnapshot:
         structure = UnrankedStructure(parse_sexpr("a(b(c, d), e)"))
         snap = structure.snapshot()
         assert snap.size == structure.size
-        assert snap.parent == [-1, 0, 1, 1, 0]
-        assert snap.firstchild == [1, 2, -1, -1, -1]
-        assert snap.nextsibling == [-1, 4, 3, -1, -1]
-        assert snap.prevsibling == [-1, -1, -1, 2, 1]
-        assert snap.lastchild == [4, 3, -1, -1, -1]
+        assert list(snap.parent) == [-1, 0, 1, 1, 0]
+        assert list(snap.firstchild) == [1, 2, -1, -1, -1]
+        assert list(snap.nextsibling) == [-1, 4, 3, -1, -1]
+        assert list(snap.prevsibling) == [-1, -1, -1, 2, 1]
+        assert list(snap.lastchild) == [4, 3, -1, -1, -1]
         for name in ("firstchild", "nextsibling", "lastchild"):
             forward = snap.forward_map(name)
             expected = dict(structure.relation(name))
@@ -90,11 +90,17 @@ class TestTreeSnapshot:
         assert snap.branches_forward("child")
 
 
-def _random_kernel_program(rng):
+def _random_kernel_program(rng, labels=("a", "b")):
     """A random monadic program over the tree signature with recursion,
-    ``child`` traversals, intersections and disconnected rules."""
+    ``child`` traversals, intersections and disconnected rules.
+
+    ``labels`` supplies the two label names mentioned by the rules, so the
+    same generator works over s-expression trees (``a``/``b``) and HTML
+    tag soup (``li``/``b``/...).
+    """
+    la, lb = labels[0], labels[1]
     shapes = [
-        "p{i}(x) :- {s}(x), label_b(x).",
+        "p{i}(x) :- {s}(x), label_%s(x)." % lb,
         "p{i}(y) :- {s}(x), firstchild(x, y).",
         "p{i}(y) :- {s}(x), nextsibling(x, y).",
         "p{i}(x) :- {s}(y), nextsibling(x, y).",
@@ -102,12 +108,12 @@ def _random_kernel_program(rng):
         "p{i}(x) :- leaf(x), {s}(y).",
         "p{i}(x) :- child(x, y), {s}(y).",
         "p{i}(y) :- {s}(x), child(x, y).",
-        "p{i}(x) :- lastchild(x, y), {s}(y), label_a(x).",
+        "p{i}(x) :- lastchild(x, y), {s}(y), label_%s(x)." % la,
         "p{i}(x) :- child(x, y), child(x, z), nextsibling(y, z), {s}(z).",
         "p{i}(x) :- firstsibling(x), {s}(x).",
-        "p{i}(x) :- notlabel_b(x), {s}(x).",
+        "p{i}(x) :- notlabel_%s(x), {s}(x)." % lb,
     ]
-    rules = ["p0(x) :- label_a(x)."]
+    rules = ["p0(x) :- label_%s(x)." % la]
     preds = ["p0"]
     for i in range(1, rng.randint(2, 8)):
         shape = rng.choice(shapes)
@@ -590,3 +596,150 @@ class TestStructureSatellites:
             GenericStructure(3, {}, arities={"ghost": 1})
         with pytest.raises(DatalogError):
             GenericStructure(3, {"edge": []}, arities={"edge": -1})
+
+
+class TestFrontierParity:
+    """Fuzz suite for the frontier-at-a-time engine (frontier big-int
+    propagation == scalar worklist == seminaive == ground), across the
+    direct, TMNF and ranked-TMNF routes, tag-soup documents, and the
+    deep-chain shapes that punish per-node scalar propagation hardest."""
+
+    def _both_engines(self, kernel, structure, monkeypatch):
+        """Run with the frontier engine allowed, then forced off."""
+        import repro.datalog.kernel as kernel_mod
+
+        monkeypatch.setattr(kernel_mod, "VECTORIZE_PROPAGATION", True)
+        vectorized = kernel.run(structure)
+        engine = kernel.last_engine
+        monkeypatch.setattr(kernel_mod, "VECTORIZE_PROPAGATION", False)
+        scalar = kernel.run(structure)
+        assert kernel.last_engine == "worklist"
+        return vectorized, scalar, engine
+
+    def test_random_programs_random_trees_all_engines_agree(self, monkeypatch):
+        rng = random.Random(20260807)
+        frontier_runs = 0
+        for _ in range(60):
+            program = _random_kernel_program(rng)
+            kernel = compile_kernel(program)
+            assert kernel is not None
+            tree = random_tree(rng, rng.randint(1, 24), labels=("a", "b"))
+            structure = as_indexed(UnrankedStructure(tree))
+            vectorized, scalar, engine = self._both_engines(
+                kernel, structure, monkeypatch
+            )
+            reference = evaluate_seminaive(program, structure)
+            assert vectorized == scalar == reference, f"{program}\non {tree}"
+            if engine == "frontier":
+                frontier_runs += 1
+            compiled = compile_program(program)
+            if compiled.grounding_applicable(structure):
+                ground = compiled.run(structure, method="ground").relations
+                for pred, tuples in reference.items():
+                    assert ground.get(pred, set()) == tuples
+        # The generator must actually exercise the vector engine.
+        assert frontier_runs >= 10
+
+    def test_tag_soup_documents_agree(self, monkeypatch):
+        from repro.html import parse_html
+        from tests.test_stream import soup
+
+        rng = random.Random(404)
+        nonempty = 0
+        for _ in range(40):
+            program = _random_kernel_program(rng, labels=("li", "b"))
+            kernel = compile_kernel(program)
+            assert kernel is not None
+            structure = UnrankedStructure(parse_html(soup(rng, pieces=40)))
+            vectorized, scalar, _ = self._both_engines(
+                kernel, structure, monkeypatch
+            )
+            reference = evaluate_seminaive(program, structure)
+            assert vectorized == scalar == reference
+            if any(reference.values()):
+                nonempty += 1
+        assert nonempty >= 10  # the fuzz actually derived facts
+
+    def test_deep_chain_trees_agree_and_vectorize(self, monkeypatch):
+        from repro.trees.generate import chain_tree
+
+        rng = random.Random(11)
+        frontier_runs = 0
+        for _ in range(20):
+            program = _random_kernel_program(rng)
+            kernel = compile_kernel(program)
+            assert kernel is not None
+            # All-"a" chains: label_a holds everywhere, so recursion walks
+            # the full depth (the string-successor worst case).
+            structure = UnrankedStructure(chain_tree(rng.randint(1, 120), "a"))
+            vectorized, scalar, engine = self._both_engines(
+                kernel, structure, monkeypatch
+            )
+            assert vectorized == scalar == evaluate_seminaive(program, structure)
+            if engine and engine.startswith("frontier"):
+                frontier_runs += 1
+        assert frontier_runs >= 5
+
+    def test_tmnf_route_agrees(self, monkeypatch):
+        rng = random.Random(77)
+        program = parse_program(
+            """
+            q(x) :- label_b(x).
+            p(x) :- q(x), child(x, y), child(y, z), label_a(z).
+            p(x) :- p(y), child(x, y).
+            """,
+            query="p",
+        )
+        kernel = compile_kernel(program)
+        assert kernel is not None and kernel.route == "tmnf"
+        for _ in range(30):
+            tree = random_tree(rng, rng.randint(1, 20), labels=("a", "b"))
+            structure = UnrankedStructure(tree)
+            vectorized, scalar, _ = self._both_engines(
+                kernel, structure, monkeypatch
+            )
+            assert vectorized == scalar == evaluate_seminaive(program, structure)
+
+    def test_ranked_tmnf_route_agrees(self, monkeypatch):
+        rng = random.Random(23)
+        program = parse_program(
+            """
+            q(x) :- label_f(x).
+            p(x) :- q(x), child(x, y), child(y, z), label_c(z).
+            """,
+            query="p",
+        )
+        kernel = compile_kernel(program)
+        assert kernel is not None
+        assert kernel._ranked_variant(2).route == "tmnf-ranked"
+        for _ in range(20):
+            structure = RankedStructure(
+                random_binary_tree(rng, rng.randint(1, 14), "f", "c"),
+                max_rank=2,
+            )
+            vectorized, scalar, _ = self._both_engines(
+                kernel, structure, monkeypatch
+            )
+            assert vectorized == scalar == evaluate_seminaive(program, structure)
+
+    def test_constant_anchored_blocks_fall_back_to_worklist(self):
+        # ``ccheck``/``cbind`` blocks are outside the vector fragment by
+        # design: the whole variant must fall back to the scalar worklist
+        # even with vectorization enabled (the CI smoke job keys on this).
+        import repro.datalog.kernel as kernel_mod
+
+        assert kernel_mod.VECTORIZE_PROPAGATION  # default: enabled
+        program = parse_program("p(x) :- firstchild(0, x).", query="p")
+        kernel = compile_kernel(program)
+        structure = UnrankedStructure(parse_sexpr("a(b, c)"))
+        assert kernel.run(structure)["p"] == {(1,)}
+        assert kernel.last_engine == "worklist"
+
+    def test_engine_is_reported_through_the_plan_layer(self):
+        program = parse_program("p(y) :- label_a(x), firstchild(x, y).", query="p")
+        structure = UnrankedStructure(parse_sexpr("a(b, c)"))
+        result = compile_program(program).run(structure)
+        assert result.method == "kernel"
+        assert result.engine == "frontier"
+        seminaive = compile_program(program).run(structure, method="seminaive")
+        assert seminaive.engine is None

@@ -274,6 +274,40 @@ class TestResultCache:
         cache.put("a", 1)
         assert cache.get("a") is None and len(cache) == 0
 
+    def test_ttl_expires_entries(self):
+        now = [100.0]
+        cache = ResultCache(capacity=4, ttl=10.0, clock=lambda: now[0])
+        cache.put("a", 1)
+        now[0] += 9.9
+        assert cache.get("a") == 1
+        now[0] += 0.2
+        assert cache.get("a") is None
+        assert len(cache) == 0  # expired entry was dropped, not retained
+
+    def test_weight_budget_evicts_lru_until_fit(self):
+        cache = ResultCache(capacity=100, max_weight=10)
+        cache.put("a", 1, weight=4)
+        cache.put("b", 2, weight=4)
+        cache.put("c", 3, weight=4)  # 12 > 10: evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("b") == 2 and cache.get("c") == 3
+        assert cache.weight == 8
+
+    def test_entry_heavier_than_budget_is_not_stored(self):
+        cache = ResultCache(capacity=100, max_weight=10)
+        cache.put("small", 1, weight=3)
+        cache.put("huge", 2, weight=11)  # would wipe the cache for nothing
+        assert cache.get("huge") is None
+        assert cache.get("small") == 1  # the rest of the LRU survived
+
+    def test_weight_accounting_on_overwrite_and_clear(self):
+        cache = ResultCache(capacity=100, max_weight=100)
+        cache.put("a", 1, weight=60)
+        cache.put("a", 2, weight=5)  # overwrite must release the old weight
+        assert cache.weight == 5 and cache.get("a") == 2
+        cache.clear()
+        assert cache.weight == 0 and len(cache) == 0
+
 
 class TestServerEndToEnd:
     def _register_catalog(self, host, port):
@@ -502,5 +536,33 @@ class TestServerEndToEnd:
             # Coalescing happened: fewer flushes than requests.
             assert metrics["batches"]["count"] < 8
             assert metrics["batches"]["max_size"] >= 2
+        finally:
+            thread.stop()
+
+    def test_sequential_requests_bypass_coalescing(self):
+        # Regression guard for the concurrency-1 latency bug: with no
+        # overlapping work, /extract must not sit in the flush-delay queue.
+        # A pathological max_delay makes any accidental queueing obvious.
+        registry = WrapperRegistry()
+        registry.register("items", ITEM_DATALOG, kind="datalog", patterns=["item"])
+        server = ExtractionServer(
+            registry, port=0, shards=0, max_delay=5.0, cache_size=0,
+        )
+        thread = ServerThread(server)
+        host, port = thread.start()
+        try:
+            start = time.monotonic()
+            for i in range(4):
+                status, body = request(
+                    host, port, "POST", "/extract/items",
+                    {"html": f"<ul><li>item {i}</li></ul>"},
+                )
+                assert status == 200
+                assert body["result"]["children"][0]["text"] == f"item {i}"
+            elapsed = time.monotonic() - start
+            assert elapsed < 5.0, "sequential requests waited on the batch timer"
+            status, metrics = request(host, port, "GET", "/metrics")
+            assert metrics["counters"]["bypassed"] == 4
+            assert metrics["batches"]["count"] == 0
         finally:
             thread.stop()

@@ -145,7 +145,7 @@ class TestSnapshotParity:
         builder.close()
         snapshot = builder.finish()
         assert (root, child) == (0, 2)
-        assert snapshot.parent == [-1, 0, 0]
+        assert list(snapshot.parent) == [-1, 0, 0]
         assert snapshot.texts[1] == "t"
         assert snapshot.attrs[2] == {"k": "v"}
         with pytest.raises(TreeError):

@@ -30,6 +30,11 @@ Three measurements, written to ``benchmarks/BENCH_serve.json``:
 * **HTTP end to end**: a :class:`~repro.serve.server.ServerThread` on an
   ephemeral port, hammered with keep-alive connections -- the sanity row
   showing the full stack serving real sockets.
+* **chaos**: the same HTTP stack with deterministic fault injection
+  (``kill_every=5``): a fifth of all shard calls crash their worker and
+  the in-server retry loop must absorb every one -- any client-visible
+  failure aborts the benchmark.  The row quantifies the throughput tax
+  of fault tolerance against the clean ``http`` row.
 
 Usage::
 
@@ -271,6 +276,63 @@ def bench_http(requests: int, concurrency: int, shards: int):
         thread.stop()
 
 
+def bench_chaos(requests: int, shards: int):
+    """Throughput under deterministic fault injection (kill_every=5).
+
+    Every 5th shard call crashes its worker; the server's retry loop
+    must absorb all of it -- a single client-visible non-200 fails the
+    benchmark.  The row quantifies the fault-tolerance tax: req/s with a
+    fifth of all calls dying vs the clean ``http`` row above.
+    """
+    server = ExtractionServer(
+        make_registry(), port=0, shards=shards,
+        max_batch=8, max_delay=0.002, max_pending=4 * requests,
+        cache_size=0, faults="kill_every=5", max_retries=4,
+        quarantine_strikes=10_000, retry_backoff=0.002,
+    )
+    thread = ServerThread(server)
+    host, port = thread.start()
+    try:
+        pages = make_pages(requests)
+        connection = http.client.HTTPConnection(host, port, timeout=120)
+        failures = 0
+        start = time.perf_counter()
+        try:
+            for page in pages:
+                connection.request(
+                    "POST", "/extract/catalog", json.dumps({"html": page})
+                )
+                response = connection.getresponse()
+                body = json.loads(response.read())
+                if response.status != 200:
+                    failures += 1
+        finally:
+            connection.close()
+        elapsed = time.perf_counter() - start
+        snapshot = server.metrics.snapshot()
+        retries = snapshot["counters"].get("retries", 0)
+        if failures:
+            raise SystemExit(
+                f"chaos run leaked {failures} client-visible failures; "
+                "refusing to report timings"
+            )
+        row = {
+            "requests": requests,
+            "kill_every": 5,
+            "elapsed_s": elapsed,
+            "rps": round(requests / elapsed, 1),
+            "retries": retries,
+            "failures": failures,
+        }
+        print(
+            f"    chaos  {requests / elapsed:8.1f} req/s with every 5th shard "
+            f"call killed ({retries} retries, {failures} failures)"
+        )
+        return row
+    finally:
+        thread.stop()
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     smoke = "--smoke" in argv
@@ -280,6 +342,7 @@ def main(argv=None) -> int:
     print("== E-SERVE: micro-batched serving vs naive per-request path ==")
     rows, cache_row = asyncio.run(bench_stack(requests, repeat, shards))
     http_row = bench_http(requests, 8, shards)
+    chaos_row = bench_chaos(requests, shards=0)
     payload = {
         "experiment": "serve_micro_batching",
         "workload": (
@@ -298,11 +361,16 @@ def main(argv=None) -> int:
             ),
             "cache": "content-hash LRU in front of the batcher",
             "http": "ExtractionServer (asyncio streams) end to end",
+            "chaos": (
+                "same HTTP stack with kill_every=5 fault injection; "
+                "in-server retries must absorb every crash"
+            ),
         },
         "smoke": smoke,
         "rows": rows,
         "cache": cache_row,
         "http": http_row,
+        "chaos": chaos_row,
     }
     out_path = pathlib.Path(__file__).resolve().parent / "BENCH_serve.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")

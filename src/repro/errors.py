@@ -83,3 +83,51 @@ class ServeError(ReproError):
 
 class ServerOverloaded(ServeError):
     """Raised when the serving queue is full (mapped to HTTP 503)."""
+
+
+class RetryableServeError(ServeError):
+    """A transient serving failure: safe to retry the same request.
+
+    The server's retry loop treats exactly this family as retryable;
+    everything else propagates to the client on the first attempt."""
+
+
+class ShardCrashed(RetryableServeError):
+    """A shard worker died (or lost its wrapper) under a request.
+
+    The shard respawns and the wrapper re-installs on the next
+    submission, so the request is retryable (mapped to HTTP 503 when
+    retries are exhausted).
+
+    ``blameless`` marks crashes that are *not attributable to the
+    documents in the call* -- the worker broke before the pages ever
+    reached it (a failed install, a pool already broken by an earlier
+    request).  Blameless crashes are retried like any other but never
+    earn quarantine strikes."""
+
+    blameless = False
+
+
+class WrapperNotResident(ShardCrashed):
+    """The shard is alive but no longer holds the compiled wrapper.
+
+    Happens after an LRU eviction or a respawn raced the submission;
+    the retry re-installs.  Always blameless: the worker did not crash,
+    so the document cannot be at fault."""
+
+    blameless = True
+
+
+class RequestTimeout(RetryableServeError):
+    """A shard call exceeded the request's size-derived deadline.
+
+    The hung worker is killed and respawned; retryable because the
+    fresh worker usually finishes well inside the budget (mapped to
+    HTTP 504 when retries are exhausted)."""
+
+
+class PoisonDocument(ServeError):
+    """The document is quarantined: it repeatedly crashed shard workers.
+
+    Not retryable -- the same bytes will crash the next worker too
+    (mapped to HTTP 422).  Inspect and release via ``/quarantine``."""

@@ -26,6 +26,16 @@ four pieces, each usable on its own:
   ``GET /metrics``, with bounded-queue backpressure (503) and graceful
   shutdown.  Run it as ``python -m repro.serve``.
 
+Fault tolerance rides on top (``repro.serve.supervisor`` /
+``repro.serve.faults``): size-derived per-request deadlines with hung
+workers killed at the bound, automatic retry with jittered backoff for
+crashed shards, poison-page quarantine (batch bisection isolates the
+offending document; 422 after N strikes, ``/quarantine`` to inspect),
+per-shard circuit breakers fed by a background health checker that
+respawn sick shards and reroute their keys, and a deterministic fault
+injector (kill / delay / hang / corrupt on the Nth call, poison-marker
+pages) used by the chaos tests and the CI chaos job.
+
 Quickstart::
 
     from repro.serve import ExtractionServer, WrapperRegistry
@@ -40,18 +50,25 @@ Quickstart::
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.executor import ShardExecutor, content_hash
+from repro.serve.faults import FaultInjector, FaultPlan
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import RegisteredWrapper, WrapperRegistry
 from repro.serve.server import ExtractionServer, ServerThread
+from repro.serve.supervisor import CircuitBreaker, Quarantine, ShardSupervisor
 
 __all__ = [
+    "CircuitBreaker",
     "ExtractionServer",
+    "FaultInjector",
+    "FaultPlan",
     "MicroBatcher",
+    "Quarantine",
     "RegisteredWrapper",
     "ResultCache",
     "ServeMetrics",
     "ServerThread",
     "ShardExecutor",
+    "ShardSupervisor",
     "WrapperRegistry",
     "content_hash",
 ]

@@ -63,6 +63,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--cache-size", type=int, default=512)
     parser.add_argument(
+        "--deadline-base-ms",
+        type=float,
+        default=2000.0,
+        help="fixed part of the per-request shard-call deadline",
+    )
+    parser.add_argument(
+        "--deadline-per-mb-ms",
+        type=float,
+        default=5000.0,
+        help="size-proportional part of the deadline (evaluation is linear)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="in-server retries for retryable shard failures",
+    )
+    parser.add_argument(
+        "--quarantine-strikes",
+        type=int,
+        default=3,
+        help="consecutive worker crashes before a document is quarantined (422)",
+    )
+    parser.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        help="seconds between supervisor health sweeps over the shards",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive shard failures that trip its circuit breaker",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault injection, e.g. "
+            "'kill_every=5,delay_every=10,delay_s=0.25' (chaos testing only)"
+        ),
+    )
+    parser.add_argument(
         "--demo",
         action="store_true",
         help=f"register the reference catalog wrapper as {DEMO_WRAPPER!r}",
@@ -82,6 +127,8 @@ async def _amain(args: argparse.Namespace) -> int:
             patterns=["record", "name", "price"],
         )
         print(f"registered demo wrapper {entry.key}", flush=True)
+    if args.faults:
+        print(f"FAULT INJECTION ACTIVE: {args.faults}", flush=True)
     server = ExtractionServer(
         registry,
         host=args.host,
@@ -91,6 +138,13 @@ async def _amain(args: argparse.Namespace) -> int:
         max_delay=args.max_delay_ms / 1000.0,
         max_pending=args.max_pending,
         cache_size=args.cache_size,
+        deadline_base=args.deadline_base_ms / 1000.0,
+        deadline_per_mb=args.deadline_per_mb_ms / 1000.0,
+        max_retries=args.max_retries,
+        quarantine_strikes=args.quarantine_strikes,
+        health_interval=args.health_interval,
+        breaker_threshold=args.breaker_threshold,
+        faults=args.faults,
     )
     await server.start()
     stop = asyncio.Event()

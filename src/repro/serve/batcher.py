@@ -30,6 +30,29 @@ one round trip and coalescing engages as before.
 Backpressure is a bounded pending-document budget: when ``max_pending``
 documents are queued or in flight, new work raises
 :class:`~repro.errors.ServerOverloaded` (the HTTP layer maps it to 503).
+The budget is released in ``finally`` blocks on every path, so a
+crash-looping shard cannot leak the server into permanent 503s.
+
+Fault tolerance (see also :mod:`repro.serve.supervisor`):
+
+* every shard call is bounded by the request's ``timeout`` -- a call
+  that exceeds it gets its worker **killed and respawned** and fails
+  with the retryable :class:`~repro.errors.RequestTimeout`, so one hung
+  evaluation can never wedge a coalesced batch;
+* shard results are validated (one dict per page); corruption is
+  treated as a crash;
+* when a *multi-document* shard call crashes, the batch is **bisected**
+  and the halves re-submitted, isolating the offending document(s):
+  innocent batch-mates still succeed, and each single-document crash
+  earns the document a quarantine strike
+  (:class:`~repro.serve.supervisor.Quarantine`) -- quarantined hashes
+  are rejected with :class:`~repro.errors.PoisonDocument` before any
+  shard is risked again;
+* failures are per *document*: one poison page in a coalesced flush
+  fails only its own future;
+* when a :class:`~repro.serve.supervisor.ShardSupervisor` is attached,
+  submissions route around shards whose circuit breaker is open and
+  every call outcome feeds the breakers.
 
 The batcher must be used from a single asyncio event loop.
 """
@@ -37,13 +60,27 @@ The batcher must be used from a single asyncio event loop.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import BrokenExecutor
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.errors import ServeError, ServerOverloaded
+from repro.errors import (
+    PoisonDocument,
+    RequestTimeout,
+    RetryableServeError,
+    ServeError,
+    ServerOverloaded,
+    ShardCrashed,
+)
 from repro.serve.cache import ResultCache
 from repro.serve.executor import ShardExecutor, content_hash
+from repro.serve.faults import validate_shard_result
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import RegisteredWrapper
+from repro.serve.supervisor import Quarantine, ShardSupervisor
+
+#: A per-document evaluation outcome: the payload, or the error that
+#: should reach exactly that document's waiter.
+Outcome = Union[dict, BaseException]
 
 
 class _Queue:
@@ -53,8 +90,8 @@ class _Queue:
 
     def __init__(self, entry: RegisteredWrapper):
         self.entry = entry
-        #: ``(html, doc_hash, future)`` triples awaiting a flush.
-        self.items: List[Tuple[str, str, asyncio.Future]] = []
+        #: ``(html, doc_hash, future, timeout)`` tuples awaiting a flush.
+        self.items: List[Tuple[str, str, asyncio.Future, Optional[float]]] = []
         self.timer: Optional[asyncio.TimerHandle] = None
 
 
@@ -70,6 +107,8 @@ class MicroBatcher:
         max_delay: float = 0.010,
         max_pending: int = 256,
         bypass_concurrency: int = 1,
+        quarantine: Optional[Quarantine] = None,
+        supervisor: Optional[ShardSupervisor] = None,
     ):
         self._executor = executor
         self._cache = cache
@@ -78,8 +117,13 @@ class MicroBatcher:
         self.max_delay = max_delay
         self.max_pending = max_pending
         self.bypass_concurrency = bypass_concurrency
+        self.quarantine = quarantine if quarantine is not None else Quarantine()
+        self.supervisor = supervisor
         self._queues: Dict[str, _Queue] = {}
         self._pending = 0
+        #: Unresolved futures of queued/in-flight coalesced requests, so
+        #: drain() can fail them explicitly instead of abandoning them.
+        self._inflight: Set[asyncio.Future] = set()
 
     async def _content_hashes(self, pages: Sequence[str]) -> List[str]:
         """Content hashes for a batch, off the event loop when large.
@@ -101,9 +145,22 @@ class MicroBatcher:
 
     # -- request entry points ------------------------------------------------
 
-    async def submit(self, entry: RegisteredWrapper, html: str) -> dict:
-        """One document through the coalescing queue; returns its payload."""
+    async def submit(
+        self,
+        entry: RegisteredWrapper,
+        html: str,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """One document through the coalescing queue; returns its payload.
+
+        ``timeout`` bounds each *shard call* this document participates
+        in; a call that exceeds it kills the hung worker and fails with
+        :class:`~repro.errors.RequestTimeout` (retryable upstream).
+        """
         doc_hash = (await self._content_hashes([html]))[0]
+        # Quarantine outranks the cache: a poisoned hash is rejected
+        # before it can touch any shared machinery again.
+        self.quarantine.check(doc_hash)
         hit = self._cache.get((entry.cache_key, doc_hash))
         if hit is not None:
             self._metrics.incr("cache_hits")
@@ -119,32 +176,26 @@ class MicroBatcher:
         ):
             # Below the concurrency threshold coalescing cannot help (there
             # is nothing to coalesce with) and the flush delay is pure
-            # latency: submit immediately on this task, skipping the batch
-            # assembly machinery -- one document, one shard, one future.
+            # latency: evaluate immediately on this task, skipping the
+            # queue -- one document, one shard, one future.
             self._metrics.incr("bypassed")
-            self._metrics.incr("cache_misses")
             self._pending += 1
             try:
-                installs = self._executor.ensure_installed(
-                    entry.cache_key, entry.wrapper
-                )
-                for install in installs:
-                    await asyncio.wrap_future(install)
-                shard = self._executor.shard_for(doc_hash)
-                submission = self._executor.submit(shard, entry.cache_key, [html])
-                payload = (await asyncio.wrap_future(submission))[0]
+                outcome = (
+                    await self._evaluate(entry, [(html, doc_hash)], timeout)
+                )[0]
             finally:
                 self._pending -= 1
-            self._cache.put(
-                (entry.cache_key, doc_hash), payload, weight=len(html)
-            )
-            self._metrics.incr("documents")
-            return payload
+            if isinstance(outcome, BaseException):
+                raise outcome
+            return outcome
         loop = asyncio.get_running_loop()
         if queue is None:
             queue = self._queues[entry.cache_key] = _Queue(entry)
         future: asyncio.Future = loop.create_future()
-        queue.items.append((html, doc_hash, future))
+        self._inflight.add(future)
+        future.add_done_callback(self._inflight.discard)
+        queue.items.append((html, doc_hash, future, timeout))
         self._pending += 1
         if len(queue.items) >= self.max_batch:
             self._schedule_flush(entry.cache_key)
@@ -155,10 +206,17 @@ class MicroBatcher:
         return await future
 
     async def run_batch(
-        self, entry: RegisteredWrapper, pages: Sequence[str]
+        self,
+        entry: RegisteredWrapper,
+        pages: Sequence[str],
+        timeout: Optional[float] = None,
     ) -> List[dict]:
         """An already-batched request (``POST /batch``): no coalescing
-        wait, but the same cache, dedup, sharding and backpressure."""
+        wait, but the same cache, dedup, sharding and backpressure.
+
+        All-or-nothing: if any document fails after isolation, the worst
+        error propagates (retryable errors first, so an upstream retry
+        can still complete the batch -- successes are already cached)."""
         if not pages:
             return []
         if len(pages) > self.max_pending:
@@ -176,15 +234,29 @@ class MicroBatcher:
         self._pending += len(pages)
         try:
             hashes = await self._content_hashes(pages)
-            return await self._evaluate(entry, list(zip(pages, hashes)))
+            outcomes = await self._evaluate(
+                entry, list(zip(pages, hashes)), timeout
+            )
         finally:
             self._pending -= len(pages)
+        failure: Optional[BaseException] = None
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                if isinstance(outcome, RetryableServeError):
+                    raise outcome
+                failure = failure or outcome
+        if failure is not None:
+            raise failure
+        return outcomes  # type: ignore[return-value]
 
     async def drain(self, timeout: float = 30.0) -> None:
         """Flush every pending queue and wait for the results (shutdown).
 
-        Bounded: gives up after ``timeout`` seconds so shutdown can never
-        hang on work that refuses to finish.
+        Bounded: after ``timeout`` seconds, requests that still have not
+        resolved are *failed explicitly* (each waiter gets a
+        :class:`~repro.errors.ShardCrashed` -- retryable against the
+        replacement server) and counted in the ``drain_abandoned``
+        metric, rather than being silently dropped with the event loop.
         """
         flushes = [
             self._flush(key) for key in list(self._queues) if self._queues[key].items
@@ -194,6 +266,17 @@ class MicroBatcher:
         deadline = asyncio.get_running_loop().time() + timeout
         while self._pending and asyncio.get_running_loop().time() < deadline:
             await asyncio.sleep(0.005)
+        if self._pending:
+            abandoned = [f for f in list(self._inflight) if not f.done()]
+            for future in abandoned:
+                future.set_exception(
+                    ShardCrashed(
+                        "server shut down before this request completed; "
+                        "retry against the replacement"
+                    )
+                )
+            if abandoned:
+                self._metrics.incr("drain_abandoned", len(abandoned))
 
     # -- internals -----------------------------------------------------------
 
@@ -214,29 +297,50 @@ class MicroBatcher:
             queue.timer.cancel()
             queue.timer = None
         items = queue.items
+        # One shard call serves the whole batch: bound it by the most
+        # generous member budget; stricter per-request deadlines are
+        # enforced upstream by the server's retry loop.
+        timeouts = [timeout for _, _, _, timeout in items]
+        timeout = None if any(t is None for t in timeouts) else max(timeouts)
         self._metrics.observe_batch(len(items))
         try:
-            payloads = await self._evaluate(
-                queue.entry, [(html, doc_hash) for html, doc_hash, _ in items]
+            outcomes = await self._evaluate(
+                queue.entry,
+                [(html, doc_hash) for html, doc_hash, _, _ in items],
+                timeout,
             )
-            for (_, _, future), payload in zip(items, payloads):
-                if not future.done():
-                    future.set_result(payload)
-        except Exception as exc:  # propagate to every waiter
-            for _, _, future in items:
+            for (_, _, future, _), outcome in zip(items, outcomes):
+                if future.done():
+                    continue
+                if isinstance(outcome, BaseException):
+                    future.set_exception(outcome)
+                else:
+                    future.set_result(outcome)
+        except Exception as exc:  # defensive: propagate to every waiter
+            for _, _, future, _ in items:
                 if not future.done():
                     future.set_exception(exc)
         finally:
             self._pending -= len(items)
 
     async def _evaluate(
-        self, entry: RegisteredWrapper, docs: Sequence[Tuple[str, str]]
-    ) -> List[dict]:
-        """Resolve a batch of ``(html, hash)`` docs to payloads, via the
-        cache, with in-batch dedup and one submission per shard."""
-        results: List[Optional[dict]] = [None] * len(docs)
+        self,
+        entry: RegisteredWrapper,
+        docs: Sequence[Tuple[str, str]],
+        timeout: Optional[float] = None,
+    ) -> List[Outcome]:
+        """Resolve ``(html, hash)`` docs to per-document outcomes, via the
+        cache, with in-batch dedup and one submission per healthy shard."""
+        results: List[Optional[Outcome]] = [None] * len(docs)
         misses: Dict[str, List[int]] = {}
         for index, (_, doc_hash) in enumerate(docs):
+            if self.quarantine.is_quarantined(doc_hash):
+                self._metrics.incr("poison_rejected")
+                results[index] = PoisonDocument(
+                    f"document {doc_hash[:12]} is quarantined; "
+                    "POST /quarantine/release to retry it"
+                )
+                continue
             hit = self._cache.get((entry.cache_key, doc_hash))
             if hit is not None:
                 self._metrics.incr("cache_hits")
@@ -249,37 +353,129 @@ class MicroBatcher:
             self._metrics.incr(
                 "cache_misses", sum(len(indexes) for indexes in misses.values())
             )
-            installs = self._executor.ensure_installed(entry.cache_key, entry.wrapper)
-            for install in installs:
-                await asyncio.wrap_future(install)
             by_shard: Dict[int, List[str]] = {}
             for doc_hash in misses:
                 shard = self._executor.shard_for(doc_hash)
+                if self.supervisor is not None:
+                    shard = self.supervisor.route(shard)
                 by_shard.setdefault(shard, []).append(doc_hash)
-            submissions = []
-            for shard, hashes in by_shard.items():
-                pages = [docs[misses[h][0]][0] for h in hashes]
-                future = self._executor.submit(shard, entry.cache_key, pages)
-                submissions.append((hashes, asyncio.wrap_future(future)))
-            # Gather so one failing shard neither discards the others'
-            # finished work nor leaves unretrieved futures behind.
-            outcomes = await asyncio.gather(
-                *(future for _, future in submissions), return_exceptions=True
+            pages_by_hash = {h: docs[indexes[0]][0] for h, indexes in misses.items()}
+            groups = await asyncio.gather(
+                *(
+                    self._call_group(entry, shard, hashes, pages_by_hash, timeout)
+                    for shard, hashes in by_shard.items()
+                )
             )
-            failure: Optional[BaseException] = None
-            for (hashes, _), outcome in zip(submissions, outcomes):
-                if isinstance(outcome, BaseException):
-                    failure = failure or outcome
-                    continue
-                for doc_hash, payload in zip(hashes, outcome):
-                    self._cache.put(
-                        (entry.cache_key, doc_hash),
-                        payload,
-                        weight=len(docs[misses[doc_hash][0]][0]),
-                    )
+            for group in groups:
+                for doc_hash, outcome in group.items():
+                    if not isinstance(outcome, BaseException):
+                        self._cache.put(
+                            (entry.cache_key, doc_hash),
+                            outcome,
+                            weight=len(pages_by_hash[doc_hash]),
+                        )
                     for index in misses[doc_hash]:
-                        results[index] = payload
-            if failure is not None:
-                raise failure
+                        results[index] = outcome
         self._metrics.incr("documents", len(docs))
         return results  # type: ignore[return-value]
+
+    async def _call_group(
+        self,
+        entry: RegisteredWrapper,
+        shard: int,
+        hashes: List[str],
+        pages_by_hash: Dict[str, str],
+        timeout: Optional[float],
+    ) -> Dict[str, Outcome]:
+        """One shard sub-batch, with crash bisection.
+
+        Returns an outcome per content hash.  On a crash/timeout of a
+        multi-document call the batch is split and both halves re-run
+        (the shard has respawned in between; ``_call_once`` re-installs
+        the wrapper), so only genuinely poisonous documents keep
+        failing.  A single-document crash earns a quarantine strike."""
+        pages = [pages_by_hash[h] for h in hashes]
+        try:
+            payloads = await self._call_once(entry, shard, pages, timeout)
+        except RetryableServeError as exc:
+            if self.supervisor is not None:
+                self.supervisor.record_failure(shard)
+            if len(hashes) == 1:
+                # Strike only when the crash is attributable to this
+                # document: the worker died *while evaluating it*.
+                # Blameless crashes (install failures, a pool broken by
+                # an earlier request, wrapper-not-resident) and plain
+                # timeouts never quarantine.
+                if isinstance(exc, ShardCrashed) and not exc.blameless:
+                    if self.quarantine.strike(hashes[0]):
+                        self._metrics.incr("quarantined")
+                return {hashes[0]: exc}
+            self._metrics.incr("bisections")
+            mid = len(hashes) // 2
+            left = await self._call_group(
+                entry, shard, hashes[:mid], pages_by_hash, timeout
+            )
+            right = await self._call_group(
+                entry, shard, hashes[mid:], pages_by_hash, timeout
+            )
+            left.update(right)
+            return left
+        if self.supervisor is not None:
+            self.supervisor.record_success(shard)
+        outcomes: Dict[str, Outcome] = {}
+        for doc_hash, payload in zip(hashes, payloads):
+            self.quarantine.absolve(doc_hash)
+            outcomes[doc_hash] = payload
+        return outcomes
+
+    async def _call_once(
+        self,
+        entry: RegisteredWrapper,
+        shard: int,
+        pages: List[str],
+        timeout: Optional[float],
+    ) -> List[dict]:
+        """One bounded shard call: install if needed, submit, validate.
+
+        Maps worker death to :class:`~repro.errors.ShardCrashed` and a
+        deadline overrun to a worker kill + respawn +
+        :class:`~repro.errors.RequestTimeout`.  Failures in the install
+        phase -- before the pages ever reach a worker -- are marked
+        ``blameless`` so an innocent document retrying into a pool that
+        an *earlier* crash broke does not accumulate quarantine strikes."""
+        try:
+            try:
+                installs = self._executor.ensure_installed(
+                    entry.cache_key, entry.wrapper
+                )
+                for install in installs:
+                    await asyncio.wait_for(asyncio.wrap_future(install), timeout)
+                submission = self._executor.submit(shard, entry.cache_key, pages)
+            except ShardCrashed as exc:
+                exc.blameless = True
+                raise
+            except BrokenExecutor:
+                crash = ShardCrashed(
+                    "shard worker died before this batch was submitted; "
+                    "shard respawned, retry the request"
+                )
+                crash.blameless = True
+                raise crash from None
+            result = await asyncio.wait_for(
+                asyncio.wrap_future(submission), timeout
+            )
+        except asyncio.TimeoutError:
+            self._metrics.incr("timeouts")
+            # The worker is wedged (or just too slow for this budget):
+            # kill it so the rest of its queue is not stuck behind it.
+            self._executor.kill_shard(shard)
+            raise RequestTimeout(
+                f"shard call exceeded its {timeout:.3f}s budget; "
+                "worker killed and respawned, retry the request"
+            ) from None
+        except BrokenExecutor:
+            raise ShardCrashed(
+                "shard worker died under this request; "
+                "shard respawned, retry the request"
+            ) from None
+        return validate_shard_result(result, len(pages))

@@ -18,6 +18,8 @@ single-core boxes where process fan-out cannot pay for itself.
 from __future__ import annotations
 
 import hashlib
+import os
+import signal
 from collections import OrderedDict
 from concurrent.futures import (
     BrokenExecutor,
@@ -25,9 +27,15 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.errors import ServeError, ServerOverloaded
+from repro.errors import (
+    ServeError,
+    ServerOverloaded,
+    ShardCrashed,
+    WrapperNotResident,
+)
+from repro.serve.faults import FAULTS_ENV, FaultInjector, FaultPlan, release_hangs
 from repro.wrap.extraction import Wrapper
 
 
@@ -49,15 +57,28 @@ def _shard_uninstall(key: str) -> bool:
     return _SHARD_WRAPPERS.pop(key, None) is not None
 
 
+def _shard_ping() -> bool:
+    """Health-check round trip: proves the worker is alive and draining."""
+    return True
+
+
 def _shard_wrap(key: str, pages: List[str]) -> List[dict]:
+    from repro.serve.faults import process_injector
+
     wrapper = _SHARD_WRAPPERS.get(key)
     if wrapper is None:
-        # Retryable (503): the wrapper was evicted or the worker was
-        # respawned; the next request re-installs it via ensure_installed.
-        raise ServerOverloaded(
+        # Retryable: the wrapper was evicted or the worker was respawned;
+        # the next attempt re-installs it via ensure_installed.
+        raise WrapperNotResident(
             f"wrapper {key!r} is not resident on this shard; retry the request"
         )
-    return [out.to_dict() for out in wrapper.wrap_html_many(pages)]
+    injector = process_injector()
+    if injector is not None:
+        injector.before_call(key, pages)
+    result = [out.to_dict() for out in wrapper.wrap_html_many(pages)]
+    if injector is not None:
+        result = injector.after_call(key, result)
+    return result
 
 
 def _forget_on_failure(shard, key: str):
@@ -87,19 +108,27 @@ class _ProcessShard:
         # Never submit to a freshly respawned pool here: the respawn
         # cleared the installed set, so the caller must go back through
         # ensure_installed first.  Raising the retryable error (mapped to
-        # 503) makes the next request do exactly that.
+        # 503) makes the next attempt do exactly that.
+        # Both raises below are *blameless*: the pool broke under some
+        # earlier request, so whatever documents this submission carries
+        # cannot be what killed the worker -- they must not earn
+        # quarantine strikes.
         if getattr(self.pool, "_broken", False):
             self._respawn()
-            raise ServerOverloaded(
+            crash = ShardCrashed(
                 "shard worker died; shard respawned, retry the request"
             )
+            crash.blameless = True
+            raise crash
         try:
             return self.pool.submit(fn, *args)
         except BrokenExecutor:
             self._respawn()
-            raise ServerOverloaded(
+            crash = ShardCrashed(
                 "shard worker died; shard respawned, retry the request"
-            ) from None
+            )
+            crash.blameless = True
+            raise crash from None
 
     def _respawn(self) -> None:
         self.pool.shutdown(wait=False, cancel_futures=True)
@@ -115,19 +144,45 @@ class _ProcessShard:
     def run(self, key: str, pages: List[str]) -> Future:
         return self._submit(_shard_wrap, key, pages)
 
+    def ping(self) -> Future:
+        return self._submit(_shard_ping)
+
+    def kill(self) -> None:
+        """Hard-kill the worker (hung past a deadline) and respawn.
+
+        SIGKILL, not terminate(): a worker stuck in C code or an
+        injected hang must die unconditionally.  In-flight futures fail
+        with :class:`BrokenExecutor`, which callers map to the retryable
+        crash path."""
+        for pid in list(getattr(self.pool, "_processes", {}) or {}):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):  # pragma: no cover - raced exit
+                pass
+        self._respawn()
+
     def close(self) -> None:
         self.pool.shutdown(wait=True, cancel_futures=True)
 
 
 class _InlineShard:
-    """Thread-backed shard: no pickling, shared-memory wrapper store."""
+    """Thread-backed shard: no pickling, shared-memory wrapper store.
 
-    def __init__(self) -> None:
+    Faults are injected *softly* here (simulated crashes instead of
+    process death), so the whole recovery stack is exercisable without
+    spawning processes."""
+
+    def __init__(self, faults: Optional[FaultPlan] = None) -> None:
         self.pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-shard"
         )
         self.installed: "OrderedDict[str, bool]" = OrderedDict()
         self._wrappers: Dict[str, Wrapper] = {}
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(faults, hard=False, shard_tag="inline")
+            if faults is not None and faults.enabled
+            else None
+        )
 
     def install(self, key: str, wrapper: Wrapper) -> Future:
         return self.pool.submit(self._wrappers.__setitem__, key, wrapper)
@@ -138,15 +193,43 @@ class _InlineShard:
     def run(self, key: str, pages: List[str]) -> Future:
         return self.pool.submit(self._wrap, key, pages)
 
+    def ping(self) -> Future:
+        return self.pool.submit(_shard_ping)
+
     def _wrap(self, key: str, pages: List[str]) -> List[dict]:
         wrapper = self._wrappers.get(key)
         if wrapper is None:
-            raise ServerOverloaded(
+            raise WrapperNotResident(
                 f"wrapper {key!r} is not resident on this shard; retry the request"
             )
-        return [out.to_dict() for out in wrapper.wrap_html_many(pages)]
+        if self.injector is not None:
+            self.injector.before_call(key, pages)
+        result = [out.to_dict() for out in wrapper.wrap_html_many(pages)]
+        if self.injector is not None:
+            result = self.injector.after_call(key, result)
+        return result
+
+    def kill(self) -> None:
+        """Simulated hard kill: new pool, empty store, hangs released.
+
+        Mirrors process-shard death semantics — the wrapper store is
+        lost (forcing re-install) and any injected hang is unblocked so
+        the abandoned worker thread can exit.  The fault injector (and
+        its call counter) deliberately survives: an inline chaos run is
+        one deterministic call sequence, so a plan combining
+        ``kill_every`` with delays keeps firing *all* its faults instead
+        of resetting to the kill-only prefix after every respawn."""
+        release_hangs()
+        old = self.pool
+        self.pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-shard"
+        )
+        self.installed.clear()
+        self._wrappers = {}
+        old.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
+        release_hangs()
         self.pool.shutdown(wait=True, cancel_futures=True)
 
 
@@ -176,10 +259,23 @@ class ShardExecutor:
     >>> executor.close()
     """
 
-    def __init__(self, shards: int = 0, max_installed: int = 32):
+    def __init__(
+        self,
+        shards: int = 0,
+        max_installed: int = 32,
+        faults: Optional[FaultPlan] = None,
+    ):
+        self.faults = faults
+        self._faults_env_prior: Optional[str] = None
+        if faults is not None and faults.enabled and shards > 0:
+            # Worker processes do not share memory with the server: they
+            # pick the plan up from the environment they inherit at
+            # spawn.  Restored by close().
+            self._faults_env_prior = os.environ.get(FAULTS_ENV)
+            os.environ[FAULTS_ENV] = faults.spec()
         if shards <= 0:
             self.mode = "inline"
-            self._shards = [_InlineShard()]
+            self._shards = [_InlineShard(faults)]
         else:
             self.mode = "process"
             self._shards = [_ProcessShard() for _ in range(shards)]
@@ -223,7 +319,7 @@ class ShardExecutor:
                     # Fire-and-forget: the single-worker pool is FIFO, so
                     # any batch already queued for ``stale`` runs first.
                     shard.uninstall(stale)
-                except ServerOverloaded:
+                except (ServerOverloaded, ShardCrashed):
                     pass  # pool respawned: the whole store is gone anyway
         return futures
 
@@ -233,6 +329,24 @@ class ShardExecutor:
             raise ServeError("executor is closed")
         return self._shards[shard_index].run(key, pages)
 
+    def ping(self, shard_index: int) -> Future:
+        """Health-check round trip through one shard's queue."""
+        if self._closed:
+            raise ServeError("executor is closed")
+        return self._shards[shard_index].ping()
+
+    def kill_shard(self, shard_index: int) -> None:
+        """Hard-kill one shard's worker (hung past a deadline) + respawn.
+
+        Installed wrappers are forgotten; the next request re-installs.
+        """
+        if not self._closed:
+            self._shards[shard_index].kill()
+
+    def respawn_shard(self, shard_index: int) -> None:
+        """Supervisor hook: proactively recycle one (sick) shard."""
+        self.kill_shard(shard_index)
+
     def close(self) -> None:
         """Shut every shard down (graceful: running batches finish)."""
         if self._closed:
@@ -240,6 +354,10 @@ class ShardExecutor:
         self._closed = True
         for shard in self._shards:
             shard.close()
+        if self._faults_env_prior is not None:
+            os.environ[FAULTS_ENV] = self._faults_env_prior
+        elif self.faults is not None and self.faults.enabled and self.mode == "process":
+            os.environ.pop(FAULTS_ENV, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"ShardExecutor({self.mode}, {self.n_shards} shards)"

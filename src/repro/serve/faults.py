@@ -1,0 +1,299 @@
+"""Deterministic fault injection for the serving stack.
+
+Chaos testing a server whose failures are *random* produces flaky
+tests; this harness makes every fault a pure function of the shard-call
+counter, so a given plan always kills, delays, hangs, or corrupts the
+exact same calls.  There is no wall-clock randomness anywhere: the only
+knob resembling a seed is ``phase``, which offsets the counter so two
+runs of the same plan can exercise different call positions — equally
+deterministically.
+
+A :class:`FaultPlan` is parsed from a compact ``key=value`` spec string
+(also accepted via the ``REPRO_SERVE_FAULTS`` environment variable, which
+is how worker *processes* — which do not share memory with the server —
+pick up the active plan):
+
+    kill_every=5,delay_every=10,delay_s=0.25,poison_marker=POISON,phase=0
+
+Faults, all counter-based (``0`` disables each):
+
+* ``kill_every=N``   — every Nth shard call kills the worker
+  (``os._exit`` in process shards, a simulated
+  :class:`~repro.errors.ShardCrashed` in inline shards);
+* ``delay_every=N`` / ``delay_s=S`` — every Nth call sleeps ``S`` seconds
+  before evaluating (models a slow page / GC pause / noisy neighbor);
+* ``hang_every=N`` / ``hang_s=S`` — every Nth call blocks for up to ``S``
+  seconds (default effectively forever); the server's deadline
+  enforcement is what must cut it off.  Inline-shard hangs wait on a
+  module-level event so :func:`release_hangs` (called by shard kill and
+  executor close) can unblock the worker thread;
+* ``corrupt_every=N`` — every Nth call returns a malformed result (wrong
+  length, non-dict entries) that the batcher must detect and treat as a
+  crash;
+* ``poison_marker=TEXT`` — any document containing ``TEXT`` *always*
+  crashes the worker, regardless of counters: the deterministic poison
+  page used to exercise quarantine.
+
+Every injected fault appends one JSON line to the file named by the
+``REPRO_SERVE_FAULT_LOG`` environment variable (if set) — the artifact
+the CI chaos job uploads, and a debugging timeline for local runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import ServeError, ShardCrashed
+
+#: Environment variable carrying the active fault spec to worker processes.
+FAULTS_ENV = "REPRO_SERVE_FAULTS"
+
+#: Environment variable naming the fault-event JSONL log (optional).
+FAULT_LOG_ENV = "REPRO_SERVE_FAULT_LOG"
+
+#: Inline-shard hangs wait on this event so they can be released when the
+#: shard is killed or the executor closes (a sleeping thread would
+#: otherwise block interpreter shutdown).
+_HANG_RELEASE = threading.Event()
+
+
+def release_hangs() -> None:
+    """Unblock every in-progress inline-shard hang."""
+    _HANG_RELEASE.set()
+    _HANG_RELEASE.clear()
+
+
+class FaultPlan:
+    """A parsed, immutable fault-injection configuration.
+
+    Examples
+    --------
+    >>> plan = FaultPlan.parse("kill_every=5,delay_every=10,delay_s=0.25")
+    >>> plan.kill_every, plan.delay_every, plan.delay_s
+    (5, 10, 0.25)
+    >>> FaultPlan.parse("").enabled
+    False
+    >>> plan.spec()
+    'kill_every=5,delay_every=10,delay_s=0.25'
+    >>> FaultPlan.parse(plan.spec()).kill_every
+    5
+    """
+
+    __slots__ = (
+        "kill_every",
+        "delay_every",
+        "delay_s",
+        "hang_every",
+        "hang_s",
+        "corrupt_every",
+        "poison_marker",
+        "phase",
+    )
+
+    def __init__(
+        self,
+        kill_every: int = 0,
+        delay_every: int = 0,
+        delay_s: float = 0.1,
+        hang_every: int = 0,
+        hang_s: float = 3600.0,
+        corrupt_every: int = 0,
+        poison_marker: str = "",
+        phase: int = 0,
+    ):
+        self.kill_every = int(kill_every)
+        self.delay_every = int(delay_every)
+        self.delay_s = float(delay_s)
+        self.hang_every = int(hang_every)
+        self.hang_s = float(hang_s)
+        self.corrupt_every = int(corrupt_every)
+        self.poison_marker = poison_marker
+        self.phase = int(phase)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(
+            self.kill_every
+            or self.delay_every
+            or self.hang_every
+            or self.corrupt_every
+            or self.poison_marker
+        )
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> "FaultPlan":
+        """Parse a ``key=value,key=value`` spec string (``None``/"" -> off)."""
+        plan = cls()
+        if not spec:
+            return plan
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in cls.__slots__:
+                raise ServeError(f"bad fault spec field {part!r}")
+            current = getattr(plan, key)
+            try:
+                if isinstance(current, int):
+                    setattr(plan, key, int(value))
+                elif isinstance(current, float):
+                    setattr(plan, key, float(value))
+                else:
+                    setattr(plan, key, value.strip())
+            except ValueError:
+                raise ServeError(f"bad fault spec value {part!r}") from None
+        return plan
+
+    def spec(self) -> str:
+        """The compact spec string (round-trips through :meth:`parse`)."""
+        defaults = FaultPlan()
+        parts: List[str] = []
+        for field in self.__slots__:
+            value = getattr(self, field)
+            if value != getattr(defaults, field):
+                parts.append(f"{field}={value}")
+        return ",".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"FaultPlan({self.spec() or 'off'})"
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to shard calls, deterministically.
+
+    One injector lives per shard worker (a module global in process
+    workers, one per :class:`~repro.serve.executor._InlineShard` in
+    inline mode).  ``hard=True`` means real worker death
+    (``os._exit``); ``hard=False`` simulates the crash by raising
+    :class:`~repro.errors.ShardCrashed`, which exercises the identical
+    recovery path without sacrificing a process.
+    """
+
+    def __init__(self, plan: FaultPlan, hard: bool, shard_tag: str = "?"):
+        self.plan = plan
+        self.hard = hard
+        self.shard_tag = shard_tag
+        self.calls = plan.phase
+        self._lock = threading.Lock()
+
+    def _log(self, event: str, **extra) -> None:
+        path = os.environ.get(FAULT_LOG_ENV)
+        if not path:
+            return
+        record = {
+            "event": event,
+            "call": self.calls,
+            "shard": self.shard_tag,
+            "pid": os.getpid(),
+            "hard": self.hard,
+        }
+        record.update(extra)
+        try:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record) + "\n")
+        except OSError:  # pragma: no cover - log path unwritable
+            pass
+
+    def _due(self, every: int) -> bool:
+        return every > 0 and self.calls % every == 0
+
+    def _crash(self, reason: str) -> None:
+        self._log("kill", reason=reason)
+        if self.hard:
+            os._exit(13)
+        raise ShardCrashed(
+            f"shard worker died (injected: {reason}); "
+            "shard respawned, retry the request"
+        )
+
+    def before_call(self, key: str, pages: List[str]) -> None:
+        """Run the pre-evaluation faults for one shard call.
+
+        May sleep, hang, raise a simulated crash, or terminate the
+        process.  Returns normally when the call should proceed.
+        """
+        if not self.plan.enabled:
+            return
+        with self._lock:
+            self.calls += 1
+        marker = self.plan.poison_marker
+        if marker and any(marker in page for page in pages):
+            self._crash(f"poison marker {marker!r}")
+        if self._due(self.plan.kill_every):
+            self._crash(f"kill_every={self.plan.kill_every}")
+        if self._due(self.plan.hang_every):
+            self._log("hang", seconds=self.plan.hang_s)
+            if self.hard:
+                time.sleep(self.plan.hang_s)
+            else:
+                _HANG_RELEASE.wait(self.plan.hang_s)
+        elif self._due(self.plan.delay_every):
+            self._log("delay", seconds=self.plan.delay_s)
+            time.sleep(self.plan.delay_s)
+
+    def after_call(self, key: str, result: List[dict]) -> List[dict]:
+        """Run the post-evaluation faults; may corrupt the result."""
+        if self._due(self.plan.corrupt_every):
+            self._log("corrupt")
+            return [{"__corrupt__": True}] * (len(result) + 1)
+        return result
+
+
+#: Lazily-built injector for *process* shard workers, configured from the
+#: environment the worker inherited (set by ShardExecutor before spawn).
+_PROCESS_INJECTOR: Optional[FaultInjector] = None
+_PROCESS_INJECTOR_SPEC: Optional[str] = None
+
+
+def process_injector() -> Optional[FaultInjector]:
+    """The per-worker-process injector, or ``None`` when faults are off.
+
+    Rebuilt if the environment spec changed (a respawned worker always
+    starts from a fresh counter — deterministic per worker lifetime).
+    """
+    global _PROCESS_INJECTOR, _PROCESS_INJECTOR_SPEC
+    spec = os.environ.get(FAULTS_ENV) or None
+    if spec != _PROCESS_INJECTOR_SPEC:
+        _PROCESS_INJECTOR_SPEC = spec
+        plan = FaultPlan.parse(spec)
+        _PROCESS_INJECTOR = (
+            FaultInjector(plan, hard=True, shard_tag="process")
+            if plan.enabled
+            else None
+        )
+    return _PROCESS_INJECTOR
+
+
+def validate_shard_result(result: object, expected: int) -> List[Dict]:
+    """Reject malformed shard results (corruption -> retryable crash).
+
+    A healthy shard returns exactly one JSON-serializable dict per page;
+    anything else means the worker (or the transport) corrupted the
+    batch, and the safe response is the crash path: respawn + retry.
+
+    >>> validate_shard_result([{"a": 1}], 1)
+    [{'a': 1}]
+    >>> validate_shard_result([{}, {}], 1)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ShardCrashed: shard returned 2 results for 1 page(s); treating as a crash
+    """
+    if (
+        not isinstance(result, list)
+        or len(result) != expected
+        or not all(isinstance(item, dict) for item in result)
+    ):
+        count = len(result) if isinstance(result, list) else type(result).__name__
+        raise ShardCrashed(
+            f"shard returned {count} results for {expected} page(s); "
+            "treating as a crash"
+        )
+    if any("__corrupt__" in item for item in result):
+        raise ShardCrashed("shard returned a corrupted payload; treating as a crash")
+    return result

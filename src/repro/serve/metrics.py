@@ -53,6 +53,7 @@ class ServeMetrics:
     def __init__(self, latency_window: int = 4096):
         self._lock = threading.Lock()
         self._counters: Counter = Counter()
+        self._gauges: Dict[str, float] = {}
         self._latencies: deque = deque(maxlen=latency_window)
         self._batch_count = 0
         self._batch_documents = 0
@@ -62,6 +63,11 @@ class ServeMetrics:
     def incr(self, name: str, count: int = 1) -> None:
         with self._lock:
             self._counters[name] += count
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Point-in-time values (breaker states, quarantine size, ...)."""
+        with self._lock:
+            self._gauges[name] = value
 
     def observe_batch(self, size: int) -> None:
         with self._lock:
@@ -78,6 +84,7 @@ class ServeMetrics:
         """JSON-serializable view of every metric (the /metrics body)."""
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             latencies = sorted(self._latencies)
             batches = {
                 "count": self._batch_count,
@@ -100,6 +107,7 @@ class ServeMetrics:
             )
         return {
             "counters": counters,
+            "gauges": gauges,
             "batches": batches,
             "latency": latency,
             "uptime_s": round(uptime, 3),

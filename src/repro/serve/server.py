@@ -24,6 +24,32 @@ budget is exhausted the server answers ``503`` immediately (bounded
 queue -> backpressure).  ``stop()`` is graceful: the listener closes
 first, queued batches flush, in-flight connections finish, then the
 shards shut down.
+
+Fault tolerance (the paper's linear-time bound, made operational):
+
+* every extraction carries a **deadline derived from document size** --
+  ``deadline_base + deadline_per_mb * megabytes`` seconds per shard
+  call.  Monadic-datalog wrappers evaluate in time linear in the
+  document (Gottlob & Koch 2002), so a call that blows this budget is
+  *wedged, not slow*: the worker is killed and respawned and the call
+  fails retryable;
+* **retryable failures are retried here**, with jittered exponential
+  backoff, before any client sees an error: worker death
+  (:class:`~repro.errors.ShardCrashed`, includes "wrapper not
+  resident") and deadline overruns
+  (:class:`~repro.errors.RequestTimeout`).  Only exhausted retries
+  surface, as 503 / 504;
+* documents that repeatedly *crash* workers are quarantined
+  (:class:`~repro.serve.supervisor.Quarantine`) and answered ``422``;
+  ``GET /quarantine`` inspects the ledger, ``POST /quarantine/release``
+  un-quarantines a hash;
+* a :class:`~repro.serve.supervisor.ShardSupervisor` pings every shard
+  in the background, trips a per-shard circuit breaker after
+  consecutive failures (proactively respawning the shard), and routes
+  keys around open breakers; its per-shard state is in ``/healthz``.
+
+Error mapping: 422 poison document, 503 retryable (crashed shard /
+overload / shutdown), 504 deadline exceeded after retries.
 """
 
 from __future__ import annotations
@@ -31,17 +57,28 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import random
 import threading
 import time
 from concurrent.futures import BrokenExecutor
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
-from repro.errors import ReproError, ServeError, ServerOverloaded
+from repro.errors import (
+    PoisonDocument,
+    ReproError,
+    RequestTimeout,
+    RetryableServeError,
+    ServeError,
+    ServerOverloaded,
+    ShardCrashed,
+)
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.executor import ShardExecutor
+from repro.serve.faults import FaultPlan
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import WrapperRegistry
+from repro.serve.supervisor import Quarantine, ShardSupervisor
 
 _REASONS = {
     200: "OK",
@@ -50,8 +87,10 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    422: "Unprocessable Entity",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: Routes whose duration feeds the latency percentiles.
@@ -76,6 +115,15 @@ class ExtractionServer:
         bypass_concurrency: int = 1,
         max_body: int = 8 * 1024 * 1024,
         idle_timeout: float = 60.0,
+        deadline_base: float = 2.0,
+        deadline_per_mb: float = 5.0,
+        max_retries: int = 3,
+        retry_backoff: float = 0.02,
+        quarantine_strikes: int = 3,
+        health_interval: float = 1.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
+        faults: Union[FaultPlan, str, None] = None,
     ):
         self.registry = registry
         self.host = host
@@ -91,8 +139,25 @@ class ExtractionServer:
         self._bypass_concurrency = bypass_concurrency
         self.max_body = max_body
         self.idle_timeout = idle_timeout
+        #: Per-shard-call deadline: base + per-MB seconds of document.
+        #: The kernel is linear in document size (the paper's Theorem
+        #: 4.2/5.2 bound), so a linear budget is the honest contract.
+        self.deadline_base = deadline_base
+        self.deadline_per_mb = deadline_per_mb
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = retry_backoff
+        self.health_interval = health_interval
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self.quarantine = Quarantine(strikes=quarantine_strikes)
+        self.faults = (
+            FaultPlan.parse(faults) if isinstance(faults, str) else faults
+        )
+        #: Backoff jitter: seeded, so test runs are reproducible.
+        self._rng = random.Random(0x5EED)
         self.executor: Optional[ShardExecutor] = None
         self.batcher: Optional[MicroBatcher] = None
+        self.supervisor: Optional[ShardSupervisor] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self._stopping = False
@@ -102,7 +167,14 @@ class ExtractionServer:
 
     async def start(self) -> None:
         """Bind the listener and bring the executor + batcher up."""
-        self.executor = ShardExecutor(self._shard_count)
+        self.executor = ShardExecutor(self._shard_count, faults=self.faults)
+        self.supervisor = ShardSupervisor(
+            self.executor,
+            self.metrics,
+            interval=self.health_interval,
+            threshold=self._breaker_threshold,
+            cooldown=self._breaker_cooldown,
+        )
         self.batcher = MicroBatcher(
             self.executor,
             self.cache,
@@ -111,6 +183,8 @@ class ExtractionServer:
             max_delay=self._max_delay,
             max_pending=self._max_pending,
             bypass_concurrency=self._bypass_concurrency,
+            quarantine=self.quarantine,
+            supervisor=self.supervisor,
         )
         try:
             self._server = await asyncio.start_server(
@@ -123,6 +197,7 @@ class ExtractionServer:
             raise
         self.port = self._server.sockets[0].getsockname()[1]
         self._started = time.time()
+        await self.supervisor.start()
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain, close the shards.
@@ -134,6 +209,8 @@ class ExtractionServer:
         self._stopping = True
         if self._server is not None:
             self._server.close()
+        if self.supervisor is not None:
+            await self.supervisor.stop()
         if self.batcher is not None:
             await self.batcher.drain()
         if self._connections:
@@ -286,6 +363,42 @@ class ExtractionServer:
         except (ConnectionError, OSError):
             return False
 
+    # -- deadlines and retries -----------------------------------------------
+
+    def deadline_for(self, *documents: str) -> float:
+        """The shard-call budget for a request, in seconds.
+
+        Linear in total document size, because wrapper evaluation is
+        (Theorem 4.2): a call that exceeds this is treated as hung."""
+        total = sum(len(doc) for doc in documents)
+        return self.deadline_base + self.deadline_per_mb * (total / 1_048_576)
+
+    async def _with_retries(self, attempt_factory):
+        """Run one extraction attempt, retrying retryable failures.
+
+        ``attempt_factory`` builds a fresh coroutine per attempt.
+        Retries use seeded jittered exponential backoff
+        (``retry_backoff * 2^n * U[0.5, 1.5)``) so synchronized clients
+        do not re-converge on a just-respawned shard.  Non-retryable
+        errors (including :class:`~repro.errors.PoisonDocument` once a
+        document crosses the quarantine threshold mid-retry) propagate
+        immediately."""
+        attempt = 0
+        while True:
+            try:
+                return await attempt_factory()
+            except RetryableServeError as exc:
+                if attempt >= self.max_retries:
+                    raise
+                self.metrics.incr("retries")
+                backoff = (
+                    self.retry_backoff
+                    * (2 ** attempt)
+                    * (0.5 + self._rng.random())
+                )
+                attempt += 1
+                await asyncio.sleep(backoff)
+
     # -- routing -------------------------------------------------------------
 
     async def _dispatch(self, method: str, target: str, body: bytes) -> Tuple[int, dict]:
@@ -297,13 +410,21 @@ class ExtractionServer:
             if method == "POST":
                 return await self._dispatch_post(path, body)
             return 405, {"error": f"method {method} not allowed"}
-        except ServerOverloaded as exc:
-            return 503, {"error": str(exc)}
-        except BrokenExecutor:
-            # A shard worker died under this request; the shard respawns
-            # on the next submission, so the client should just retry.
+        except PoisonDocument as exc:
+            # Deliberately not retried and not a server fault: the
+            # document itself is what keeps crashing workers.
+            return 422, {"error": str(exc), "retryable": False}
+        except RequestTimeout as exc:
             self.metrics.incr("errors")
-            return 503, {"error": "shard worker died; retry the request"}
+            return 504, {"error": str(exc), "retryable": True}
+        except ServerOverloaded as exc:
+            return 503, {"error": str(exc), "retryable": True}
+        except (ShardCrashed, BrokenExecutor) as exc:
+            # Retries exhausted on worker death; the shard respawns on
+            # the next submission, so the client may retry later.
+            self.metrics.incr("errors")
+            message = str(exc) or "shard worker died; retry the request"
+            return 503, {"error": message, "retryable": True}
         except ReproError as exc:
             # Library errors surfaced by client input (bad wrapper
             # source, unparsable registration, unknown patterns, ...).
@@ -315,18 +436,32 @@ class ExtractionServer:
     def _dispatch_get(self, path: str) -> Tuple[int, dict]:
         if path == "/healthz":
             assert self.batcher is not None
+            shard_health = (
+                self.supervisor.describe() if self.supervisor is not None else []
+            )
+            degraded = any(s["state"] != "closed" for s in shard_health)
             return 200, {
-                "status": "ok",
+                "status": "degraded" if degraded else "ok",
                 "wrappers": len(self.registry),
                 "pending_documents": self.batcher.pending,
                 "max_pending": self.batcher.max_pending,
                 "shards": self.executor.n_shards if self.executor else 0,
+                "shard_health": shard_health,
+                "quarantined_documents": len(self.quarantine),
                 "uptime_s": round(time.time() - self._started, 3),
             }
         if path == "/metrics":
+            if self.supervisor is not None:
+                states = [b.state for b in self.supervisor.breakers]
+                self.metrics.set_gauge(
+                    "breakers_open", states.count("open") + states.count("half_open")
+                )
+            self.metrics.set_gauge("quarantined_documents", len(self.quarantine))
             return 200, self.metrics.snapshot()
         if path == "/wrappers":
             return 200, {"wrappers": self.registry.list()}
+        if path == "/quarantine":
+            return 200, self.quarantine.describe()
         return 404, {"error": f"no such route {path!r}"}
 
     async def _dispatch_post(self, path: str, body: bytes) -> Tuple[int, dict]:
@@ -344,7 +479,10 @@ class ExtractionServer:
             except ServeError as exc:
                 return 404, {"error": str(exc)}
             self.metrics.incr("extract_requests")
-            payload = await self.batcher.submit(entry, html)
+            timeout = self.deadline_for(html)
+            payload = await self._with_retries(
+                lambda: self.batcher.submit(entry, html, timeout=timeout)
+            )
             return 200, {
                 "wrapper": entry.name,
                 "version": entry.version,
@@ -365,7 +503,12 @@ class ExtractionServer:
             except ServeError as exc:
                 return 404, {"error": str(exc)}
             self.metrics.incr("batch_requests")
-            results = await self.batcher.run_batch(entry, documents)
+            # Budget the whole batch like one linear pass; retries only
+            # recompute the documents that failed (successes are cached).
+            timeout = self.deadline_for(*documents)
+            results = await self._with_retries(
+                lambda: self.batcher.run_batch(entry, documents, timeout=timeout)
+            )
             return 200, {
                 "wrapper": entry.name,
                 "version": entry.version,
@@ -401,6 +544,16 @@ class ExtractionServer:
             )
             self.metrics.incr("registrations")
             return 201, entry.describe()
+        if path == "/quarantine/release":
+            data = self._json_body(body)
+            doc_hash = data.get("hash")
+            if not isinstance(doc_hash, str) or not doc_hash:
+                return 400, {"error": "body must be {'hash': '<content hash>'}"}
+            released = self.quarantine.release(doc_hash)
+            return (200 if released else 404), {
+                "hash": doc_hash,
+                "released": released,
+            }
         return 404, {"error": f"no such route {path!r}"}
 
     @staticmethod

@@ -20,8 +20,10 @@ import repro.html.tokenizer
 import repro.mso.parser
 import repro.serve.cache
 import repro.serve.executor
+import repro.serve.faults
 import repro.serve.metrics
 import repro.serve.registry
+import repro.serve.supervisor
 import repro.caterpillar.rewrite
 import repro.caterpillar.syntax
 import repro.structures
@@ -61,8 +63,10 @@ MODULES = [
     repro.html.parser,
     repro.serve.cache,
     repro.serve.executor,
+    repro.serve.faults,
     repro.serve.metrics,
     repro.serve.registry,
+    repro.serve.supervisor,
     repro.wrap.extraction,
     repro.wrap.output,
     repro.wrap.serialize,

@@ -27,6 +27,17 @@ Three measurements, written to ``benchmarks/BENCH_serve.json``:
 * **cold vs warm cache**: the same distinct documents twice through a
   cache-enabled batcher; the warm pass answers from the content-hash LRU
   without tokenizing or running a fixpoint (bar: >= 10x).
+* **incremental doc_id warm path**: versioned re-extraction over real
+  sockets, on deep forum pages (recursive reply chains: cold evaluation
+  pays one fixpoint round per nesting level).  Each request carries a
+  ``doc_id``; the shard holding that document's
+  :class:`~repro.wrap.WrapperState` diffs the new version against the
+  previous snapshot and runs only the delta fixpoint.  Every pass edits
+  the deepest comment of each thread (the re-crawl case the warm path
+  exists for), so the content-hash cache can never answer and the row
+  isolates fixpoint reuse; the same pages POSTed without ``doc_id`` are
+  the cold baseline.  The run fails if ``/metrics`` does not report a
+  nonzero ``incremental_reuse_fraction``.
 * **HTTP end to end**: a :class:`~repro.serve.server.ServerThread` on an
   ephemeral port, hammered with keep-alive connections -- the sanity row
   showing the full stack serving real sockets.
@@ -62,7 +73,12 @@ from repro.serve import (
     WrapperRegistry,
     content_hash,
 )
-from repro.workloads import CATALOG_WRAPPER, catalog_page
+from repro.workloads import (
+    CATALOG_WRAPPER,
+    FORUM_WRAPPER,
+    catalog_page,
+    forum_page,
+)
 
 #: Small pages: the micro-batching sweet spot (request overhead-bound).
 PAGE_ITEMS = 6
@@ -89,6 +105,10 @@ def make_registry() -> WrapperRegistry:
     registry.register(
         "catalog", CATALOG_WRAPPER, kind="elog",
         patterns=["record", "name", "price"],
+    )
+    registry.register(
+        "forum", FORUM_WRAPPER, kind="elog",
+        patterns=["thread", "comment", "body"],
     )
     return registry
 
@@ -276,6 +296,109 @@ def bench_http(requests: int, concurrency: int, shards: int):
         thread.stop()
 
 
+#: Warm-row pages are forum threads with deep reply chains: cold
+#: evaluation pays one fixpoint round per nesting level, which is exactly
+#: what the doc_id warm path amortizes away on re-crawls.  (Broad shallow
+#: pages like the catalog converge in a handful of rounds cold, so there
+#: is nothing for incrementality to win there.)
+WARM_THREADS = 8
+WARM_DEPTH = 80
+
+
+def bench_warm(documents: int, repeat: int, shards: int):
+    """Versioned re-extraction: the ``doc_id`` warm path vs cold POSTs.
+
+    Seeds each forum page's per-shard state with version 1, then runs
+    ``repeat`` passes; pass ``k`` edits the deepest comment of every
+    thread (the re-crawl recency model: new activity lands at thread
+    bottoms) and POSTs each page twice -- without ``doc_id`` (cold
+    fixpoint) and with it (snapshot diff + delta fixpoint against the
+    state the previous pass left).  Results must agree; ``/metrics`` must
+    show a nonzero ``incremental_reuse_fraction`` or the benchmark
+    aborts.
+    """
+    server = ExtractionServer(
+        make_registry(), port=0, shards=shards,
+        max_batch=8, max_delay=0.002, max_pending=4 * documents,
+        cache_size=0,
+    )
+    thread = ServerThread(server)
+    host, port = thread.start()
+    try:
+        v1 = [
+            forum_page(seed=3000 + i, threads=WARM_THREADS, depth=WARM_DEPTH)
+            for i in range(documents)
+        ]
+        connection = http.client.HTTPConnection(host, port, timeout=120)
+
+        def post(payload):
+            connection.request("POST", "/extract/forum", json.dumps(payload))
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 200, body
+            return body["result"]
+
+        def edit(page: str, k: int) -> str:
+            for t in range(WARM_THREADS):
+                marker = f"Comment {t}.{WARM_DEPTH - 1} "
+                page = page.replace(marker, f"{marker}(update {k}) ")
+            return page
+
+        try:
+            for i, page in enumerate(v1):
+                post({"html": page, "doc_id": f"doc-{i}"})
+            cold_s = warm_s = float("inf")
+            for k in range(1, repeat + 1):
+                versions = [edit(page, k) for page in v1]
+                start = time.perf_counter()
+                cold_out = [post({"html": page}) for page in versions]
+                cold_s = min(cold_s, time.perf_counter() - start)
+                start = time.perf_counter()
+                warm_out = [
+                    post({"html": page, "doc_id": f"doc-{i}"})
+                    for i, page in enumerate(versions)
+                ]
+                warm_s = min(warm_s, time.perf_counter() - start)
+                if warm_out != cold_out:
+                    raise SystemExit(
+                        "warm doc_id results diverge from the cold path; "
+                        "refusing to report timings"
+                    )
+            connection.request("GET", "/metrics")
+            metrics_body = json.loads(connection.getresponse().read())
+        finally:
+            connection.close()
+        hits = metrics_body.get("counters", {}).get("incremental_hits", 0)
+        reuse = metrics_body.get("gauges", {}).get(
+            "incremental_reuse_fraction", 0.0
+        )
+        if not hits or not reuse:
+            raise SystemExit(
+                "doc_id requests never took the incremental path "
+                f"(hits={hits}, reuse={reuse}); refusing to report timings"
+            )
+        row = {
+            "documents": documents,
+            "threads": WARM_THREADS,
+            "depth": WARM_DEPTH,
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "cold_rps": round(documents / cold_s, 1),
+            "warm_rps": round(documents / warm_s, 1),
+            "speedup_warm_doc": round(cold_s / warm_s, 2),
+            "incremental_hits": hits,
+            "incremental_reuse_fraction": reuse,
+        }
+        print(
+            f"    doc_id cold {documents / cold_s:8.1f} req/s   "
+            f"warm {documents / warm_s:8.1f} req/s   "
+            f"speedup={cold_s / warm_s:5.2f}x  reuse={reuse}"
+        )
+        return row
+    finally:
+        thread.stop()
+
+
 def bench_chaos(requests: int, shards: int):
     """Throughput under deterministic fault injection (kill_every=5).
 
@@ -342,6 +465,9 @@ def main(argv=None) -> int:
     print("== E-SERVE: micro-batched serving vs naive per-request path ==")
     rows, cache_row = asyncio.run(bench_stack(requests, repeat, shards))
     http_row = bench_http(requests, 8, shards)
+    warm_row = bench_warm(
+        documents=8 if smoke else 12, repeat=2 if smoke else 3, shards=shards
+    )
     chaos_row = bench_chaos(requests, shards=0)
     payload = {
         "experiment": "serve_micro_batching",
@@ -361,6 +487,10 @@ def main(argv=None) -> int:
             ),
             "cache": "content-hash LRU in front of the batcher",
             "http": "ExtractionServer (asyncio streams) end to end",
+            "warm_doc": (
+                "doc_id requests: per-shard WrapperState, snapshot diff + "
+                "delta fixpoint vs full cold runs (cache off)"
+            ),
             "chaos": (
                 "same HTTP stack with kill_every=5 fault injection; "
                 "in-server retries must absorb every crash"
@@ -370,6 +500,7 @@ def main(argv=None) -> int:
         "rows": rows,
         "cache": cache_row,
         "http": http_row,
+        "warm_doc": warm_row,
         "chaos": chaos_row,
     }
     out_path = pathlib.Path(__file__).resolve().parent / "BENCH_serve.json"

@@ -71,6 +71,37 @@ also takes over mid-run when the frontier stays narrow for many rounds
 over the full domain would turn linear work quadratic).  The scalar path
 doubles as the parity oracle: tests flip :data:`VECTORIZE_PROPAGATION`
 and assert identical output.
+
+Incremental re-evaluation
+-------------------------
+
+:meth:`KernelProgram.run_incremental` re-evaluates a *changed version* of
+a previously evaluated document without paying the full fixpoint again.
+A completed frontier run leaves a :class:`KernelState` (snapshot + the
+derived big ints); the next version is matched subtree-by-subtree against
+that snapshot (:mod:`repro.trees.diff` over the Merkle hashes of
+:mod:`repro.trees.merkle`) and the fixpoint restarts from the previous
+facts via delete-and-rederive:
+
+* **over-delete** (old id space, old plan): starting from the *bad* old
+  nodes -- unmatched ones plus matched subtree roots whose cross edges
+  changed -- delete every old fact whose derivation might touch them.
+  Because every lowered rule connects its slots by 1-hop tree moves, any
+  instance touching a bad node has its entry slot within ``nslots`` hops,
+  so restricting each block's entry to that neighborhood finds all
+  initially compromised heads; a worklist over the old trigger blocks
+  then closes the set downstream.
+* **carry + re-derive** (new id space, new plan): surviving facts
+  translate through the old→new id mapping (matched ranges are
+  contiguous, so the whole mapping is a handful of mask/shift classes),
+  the sweeps re-run in full (cheap big-int conjunctions), and the normal
+  frontier rounds are seeded with the new sweep facts plus every carried
+  fact within ``nslots`` hops of the changed region -- the only places a
+  missing rule instance can have all-carried bodies.  The rounds, the
+  narrow-frontier scalar handoff, and the collection all proceed exactly
+  as in a cold run, so the fixpoint provably equals cold evaluation; the
+  cold engines stay on as the parity oracle (randomized edit tests
+  assert incremental == cold across kernel/seminaive/ground).
 """
 
 from __future__ import annotations
@@ -86,6 +117,7 @@ from repro.datalog.program import Program, Rule
 from repro.datalog.terms import Atom, Constant, Variable
 from repro.errors import DatalogError
 from repro.structures import Structure
+from repro.trees.diff import diff_snapshots
 
 Relations = Dict[str, Set[Tuple[int, ...]]]
 
@@ -420,6 +452,7 @@ class _Lowering:
         "max_branches",
         "superlinear",
         "required_rank",
+        "hops",
     )
 
     def __init__(
@@ -444,11 +477,86 @@ class _Lowering:
         blocks = sweeps + [b for group in triggers for b in group]
         self.max_branches = max((b.branches for b in blocks), default=0)
         self.superlinear = any(b.superlinear for b in blocks)
+        #: Locality radius for incremental re-evaluation: every slot of a
+        #: rule instance sits within ``nslots - 1`` one-hop tree moves of
+        #: every other, so an instance touching a changed node keeps all
+        #: its slots within ``nslots`` hops of the change.
+        self.hops = max((b.nslots for b in blocks), default=1) or 1
         #: For ranked-TMNF lowerings: the exact ``max_rank`` the ``child``
         #: expansion was compiled for.  Binding a snapshot of any other
         #: rank would be unsound (a rank-``K+1`` tree has children the
         #: ``child1..childK`` expansion never visits).
         self.required_rank: Optional[int] = None
+
+
+#: Incremental runs only pay off while most of the document is reusable;
+#: past this unmatched fraction the cold frontier run wins outright.
+_INCREMENTAL_DIRTY_LIMIT = 0.5
+
+#: Cap on distinct id-shift classes in the old→new fact translation (a
+#: heavily shredded diff translates fact masks in many pieces; cold wins).
+_INCREMENTAL_SHIFT_CAP = 64
+
+
+class KernelState:
+    """Reusable residue of one completed frontier run.
+
+    Holds the lowering variant that bound the document, the document's
+    snapshot, and the derived big-int node set per predicate -- exactly
+    what :meth:`KernelProgram.run_incremental` needs to re-evaluate the
+    next version of the same document.  Captured when the big-int engine
+    reaches the fixpoint itself and when a narrow-frontier scalar handoff
+    finishes it (the worklist's per-node bitmasks pack back into lanes);
+    only documents that never held a vector plan leave ``None``, which
+    holders must treat as "start cold".
+    """
+
+    __slots__ = ("variant", "snapshot", "derived")
+
+    def __init__(self, variant: _Lowering, snapshot, derived: List[int]):
+        self.variant = variant
+        self.snapshot = snapshot
+        self.derived = derived
+
+
+def _expand_hops(snapshot, mask: int, hops: int) -> int:
+    """Close a byte-lane node set under ``hops`` one-hop tree moves.
+
+    One hop adds every parent, child, and adjacent sibling of the set --
+    the union of the images of every 1-hop relation the kernel can move
+    along, in either direction.  Children ride the always-available bulk
+    move; the functional directions (parent, prev/next sibling) are read
+    straight off the columns into a byte accumulator, so one hop costs
+    O(n + |set|) regardless of how the columns decompose.
+    """
+    if not mask or hops <= 0:
+        return mask
+    size = snapshot.size
+    full = snapshot.unary_int("dom")
+    parent = snapshot.parent
+    prevsibling = snapshot.prevsibling
+    nextsibling = snapshot.nextsibling
+    children = snapshot.vector_move("child", True)[0]
+    # Breadth-first by frontier: hop k only walks the nodes added in hop
+    # k-1 (their neighbours were already folded in when *they* were the
+    # frontier), so the per-node scalar loop does O(reached) total work
+    # rather than O(hops * |set|).  Broad documents saturate to the whole
+    # domain after a few hops; the ``full`` check stops the walk there.
+    frontier = mask
+    for _ in range(hops):
+        grown = bytearray(size)
+        for hit in _NONZERO.finditer(frontier.to_bytes(size, "little")):
+            v = _MATCH_START(hit)
+            for w in (parent[v], prevsibling[v], nextsibling[v]):
+                if w >= 0:
+                    grown[w] = 1
+        frontier = (int.from_bytes(grown, "little") | children(frontier)) & ~mask
+        if not frontier:
+            break
+        mask |= frontier
+        if mask == full:
+            break
+    return mask
 
 
 class KernelProgram:
@@ -483,9 +591,15 @@ class KernelProgram:
         #: ``max_rank`` (``None`` where the route does not apply).
         self._ranked_cache: Dict[int, Optional[_Lowering]] = {}
         #: Which engine the most recent :meth:`run` used: ``"frontier"``
-        #: (big-int rounds to fixpoint), ``"worklist"`` (scalar), or
-        #: ``"frontier+worklist"`` (narrow-frontier handoff mid-run).
+        #: (big-int rounds to fixpoint), ``"worklist"`` (scalar),
+        #: ``"frontier+worklist"`` (narrow-frontier handoff mid-run), or
+        #: ``"incremental"`` / ``"incremental+worklist"`` for
+        #: :meth:`run_incremental` warm runs.
         self.last_engine: Optional[str] = None
+        #: :class:`KernelState` of the most recent run when the pure
+        #: frontier engine completed it (``None`` otherwise) -- feed it
+        #: back as ``previous`` to :meth:`run_incremental`.
+        self.last_state: Optional[KernelState] = None
         # Introspection mirrors of the primary (preferred) lowering.
         primary = self._variants[0]
         self.lowered = primary.lowered
@@ -743,8 +857,205 @@ class KernelProgram:
             return None
         return self._run_bound(bound)
 
+    def run_incremental(self, structure: Structure, previous: KernelState):
+        """Warm re-evaluation against the previous version's fixpoint.
+
+        ``previous`` is the :class:`KernelState` left by an earlier run of
+        *this* program over an earlier version of the same document (see
+        :attr:`last_state`).  Returns
+        ``((relations, unary_sets), state, info)`` -- the same payload as
+        :meth:`try_run_full`, the state for the *next* warm run (packed
+        from the worklist bitmasks after a narrow-frontier scalar
+        handoff), and a stats dict
+        (``dirty`` / ``dirty_fraction`` / ``carried`` / ``deleted`` /
+        ``rounds``) -- or ``None`` whenever warm evaluation does not
+        apply, in which case the caller should run cold:
+
+        * the structure binds a different lowering variant (or none), or
+          either snapshot is not an unranked vector-plannable document
+          (ranked ``child_k`` positions are not edit-stable, so ranked
+          snapshots always re-run cold);
+        * the diff matched too little of the document
+          (:data:`_INCREMENTAL_DIRTY_LIMIT`) or in too many shifted
+          pieces (:data:`_INCREMENTAL_SHIFT_CAP`) for reuse to win.
+
+        The result is exactly the cold fixpoint (see the module
+        docstring's delete-and-rederive argument); ``last_engine``
+        reports ``"incremental"`` or ``"incremental+worklist"``.
+        """
+        if previous is None or not VECTORIZE_PROPAGATION:
+            return None
+        old_snap = previous.snapshot
+        bound = self._bind(structure)
+        if bound is None:
+            return None
+        variant, snapshot, _sweeps, _triggers = bound
+        if (
+            variant is not previous.variant
+            or snapshot.schema != "unranked"
+            or old_snap.schema != "unranked"
+            or not snapshot.size
+            or not old_snap.size
+        ):
+            return None
+        plan = _vector_plan(variant, snapshot)
+        old_plan = _vector_plan(variant, old_snap)
+        if plan is None or old_plan is None:
+            return None
+        d = diff_snapshots(old_snap, snapshot)
+        if d.dirty_fraction > _INCREMENTAL_DIRTY_LIMIT:
+            return None
+        if len({nw - ov for ov, nw, _ in d.ranges}) > _INCREMENTAL_SHIFT_CAP:
+            return None
+        self.last_state = None
+        P = variant.npreds
+        hops = variant.hops
+        derived_old = previous.derived
+
+        # Phase 0 -- over-delete in the old id space: every old fact whose
+        # derivation might touch a bad node is condemned, closing the set
+        # downstream through the old trigger blocks (delete-and-rederive's
+        # deletion half, without counting alternative derivations --
+        # over-deleted facts simply re-derive in phase 1).
+        deleted = [0] * P
+        deleted_count = 0
+        bad_old = d.old_bad_int
+        if bad_old:
+            old_full = old_snap.unary_int("dom")
+            old_vsweeps, old_vtriggers = old_plan
+            near = _expand_hops(old_snap, bad_old, hops)
+            memo: Dict = {}
+            dpend = [0] * P
+
+            def condemn(add: int, hp: int) -> None:
+                hit = add & derived_old[hp] & ~deleted[hp]
+                if hit:
+                    deleted[hp] |= hit
+                    dpend[hp] |= hit
+
+            for p in range(P):
+                hit = derived_old[p] & bad_old
+                if hit:
+                    deleted[p] = hit
+                    dpend[p] = hit
+            for vb in old_vsweeps:
+                entry = vb.entry_int & near
+                if entry:
+                    condemn(
+                        _run_vblock(vb, entry, derived_old, old_full, memo),
+                        vb.head_pred,
+                    )
+            for p in range(P):
+                entry = derived_old[p] & near
+                if entry:
+                    for vb in old_vtriggers[p]:
+                        condemn(
+                            _run_vblock(vb, entry, derived_old, old_full, memo),
+                            vb.head_pred,
+                        )
+            while any(dpend):
+                cur = dpend
+                dpend = [0] * P
+                for p in range(P):
+                    frontier = cur[p]
+                    if not frontier:
+                        continue
+                    for vb in old_vtriggers[p]:
+                        entry = (
+                            vb.entry_int
+                            if vb.entry_int is not None
+                            else frontier
+                        )
+                        condemn(
+                            _run_vblock(vb, entry, derived_old, old_full, memo),
+                            vb.head_pred,
+                        )
+
+        # Phase 1 -- carry the survivors into the new id space and finish
+        # the fixpoint with the normal frontier machinery, seeded with the
+        # re-run sweeps plus every carried fact near the changed region.
+        translate = d.translator()
+        full = snapshot.unary_int("dom")
+        vsweeps, vtriggers = plan
+        has_triggers = [bool(group) for group in vtriggers]
+        derived = [0] * P
+        carried_count = 0
+        region = d.new_bad_int
+        for p in range(P):
+            dead = deleted[p]
+            if dead:
+                deleted_count += dead.bit_count()
+                region |= translate(dead)
+            keep = translate(derived_old[p] & ~dead)
+            derived[p] = keep
+            carried_count += keep.bit_count()
+        pending = [0] * P
+        memo = {}
+        for vb in vsweeps:
+            add = _run_vblock(vb, vb.entry_int, derived, full, memo)
+            if add:
+                hp = vb.head_pred
+                new = add & ~derived[hp]
+                if new:
+                    derived[hp] |= new
+                    if has_triggers[hp]:
+                        pending[hp] |= new
+        if region:
+            seed_zone = _expand_hops(snapshot, region, hops)
+            for p in range(P):
+                if has_triggers[p]:
+                    hot = derived[p] & seed_zone
+                    if hot:
+                        pending[p] |= hot
+        info = {
+            "dirty": d.dirty_count,
+            "dirty_fraction": d.dirty_fraction,
+            "carried": carried_count,
+            "deleted": deleted_count,
+            "rounds": 0,
+        }
+        narrow = 0
+        while True:
+            if not any(pending):
+                break
+            info["rounds"] += 1
+            cur = pending
+            pending = [0] * P
+            for pred in range(P):
+                frontier = cur[pred]
+                if not frontier:
+                    continue
+                for vb in vtriggers[pred]:
+                    entry = (
+                        vb.entry_int if vb.entry_int is not None else frontier
+                    )
+                    add = _run_vblock(vb, entry, derived, full, memo)
+                    if add:
+                        hp = vb.head_pred
+                        new = add & ~derived[hp]
+                        if new:
+                            derived[hp] |= new
+                            if has_triggers[hp]:
+                                pending[hp] |= new
+            pushed = sum(f.bit_count() for f in pending)
+            if 0 < pushed <= _NARROW_FRONTIER:
+                narrow += 1
+                if narrow >= _NARROW_ROUND_LIMIT:
+                    self.last_engine = "incremental+worklist"
+                    out = self._run_scalar(
+                        bound, resume=(derived, pending), capture_state=True
+                    )
+                    return out, self.last_state, info
+            else:
+                narrow = 0
+        self.last_engine = "incremental"
+        state = KernelState(variant, snapshot, derived)
+        self.last_state = state
+        return self._collect_vector(variant, snapshot, derived), state, info
+
     def _run_bound(self, bound) -> Tuple[Relations, Dict[str, Set[int]]]:
         """Dispatch one bound lowering to the preferred engine."""
+        self.last_state = None
         if VECTORIZE_PROPAGATION:
             result = self._run_vector(bound)
             if result is not None:
@@ -815,10 +1126,13 @@ class KernelProgram:
                 narrow += 1
                 if narrow >= _NARROW_ROUND_LIMIT:
                     self.last_engine = "frontier+worklist"
-                    return self._run_scalar(bound, resume=(derived, pending))
+                    return self._run_scalar(
+                        bound, resume=(derived, pending), capture_state=True
+                    )
             else:
                 narrow = 0
         self.last_engine = "frontier"
+        self.last_state = KernelState(variant, snapshot, derived)
         return self._collect_vector(variant, snapshot, derived)
 
     @staticmethod
@@ -842,7 +1156,7 @@ class KernelProgram:
         return relations, unary_sets
 
     def _run_scalar(
-        self, bound, resume=None
+        self, bound, resume=None, capture_state: bool = False
     ) -> Tuple[Relations, Dict[str, Set[int]]]:
         variant, snapshot, sweeps, triggers = bound
         P = variant.npreds
@@ -1014,6 +1328,32 @@ class KernelProgram:
                         vals[start] = v
                         execute(ops, 0, vals, head_pred, head_slot, nops)
 
+        if capture_state:
+            # Pack the completed per-node bitmasks back into per-predicate
+            # byte lanes: the scalar worklist finishes the exact fixpoint,
+            # so its residue is just as reusable by the next warm run as a
+            # pure frontier run's.  Only the handoff sites ask for this
+            # (both hold a vector plan); a lane is allocated lazily per
+            # predicate that actually derived something.
+            lanes: List[Optional[bytearray]] = [None] * P
+            for v, m in enumerate(masks):
+                while m:
+                    low = m & -m
+                    lane = lanes[low.bit_length() - 1]
+                    if lane is None:
+                        lane = lanes[low.bit_length() - 1] = bytearray(
+                            domain_size
+                        )
+                    lane[v] = 1
+                    m ^= low
+            self.last_state = KernelState(
+                variant,
+                snapshot,
+                [
+                    0 if lane is None else int.from_bytes(lane, "little")
+                    for lane in lanes
+                ],
+            )
         unary_sets: Dict[str, Set[int]] = {}
         for name, collected in out_lists:
             unary_sets[name] = ids = set(collected)
@@ -1389,6 +1729,21 @@ def compile_kernel(program: Program) -> Optional[KernelProgram]:
     """
     if not program.is_monadic():
         return None
+    # The kernel only reads the tree signature: unary labels plus the
+    # _BINARY_NAME relations.  Any other extensional atom of arity >= 2
+    # (e.g. the Elog-Delta ``before[...]`` conditions) puts the program
+    # outside the fragment -- and the TMNF route would silently *drop*
+    # such rules during acyclicization, producing a kernel that binds but
+    # evaluates the wrong program.  Reject up front instead.
+    intensional = program.intensional_predicates()
+    for rule in program.rules:
+        for atom in rule.body:
+            if (
+                atom.arity >= 2
+                and atom.pred not in intensional
+                and not (atom.arity == 2 and _BINARY_NAME.match(atom.pred))
+            ):
+                return None
     try:
         split = split_disconnected(program)
     except DatalogError:

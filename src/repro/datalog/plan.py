@@ -641,6 +641,62 @@ class CompiledProgram:
         """Evaluate the plan over a batch of documents."""
         return [self.run(structure, method=method) for structure in structures]
 
+    def run_incremental(self, structure: Structure, previous):
+        """Warm evaluation against a previous version of the same document.
+
+        ``previous`` is the state returned by an earlier call (or ``None``
+        to start cold).  Returns ``(result, state, info)``: the usual
+        :class:`EvaluationResult`, the opaque state to feed the *next*
+        version of this document, and the kernel's reuse stats dict (or
+        ``None`` when the run fell back to a cold evaluation).  Warm runs
+        require the propagation kernel; any program/structure the kernel
+        cannot hold falls back to :meth:`run` with ``state=None``, so
+        callers can thread the state unconditionally:
+
+        >>> from repro.datalog.parser import parse_program
+        >>> from repro.trees import parse_sexpr
+        >>> from repro.trees.unranked import UnrankedStructure
+        >>> compiled = compile_program(parse_program(
+        ...     "p(x) :- label_a(x).\\np(y) :- p(x), child(x, y).", query="p"))
+        >>> v1 = UnrankedStructure(parse_sexpr("a(b(c), d)"))
+        >>> v2 = UnrankedStructure(parse_sexpr("a(b(c), e)"))
+        >>> result, state, info = compiled.run_incremental(v1, None)
+        >>> sorted(result.query_result()), result.engine
+        ([0, 1, 2, 3], 'frontier')
+        >>> result, state, info = compiled.run_incremental(v2, state)
+        >>> sorted(result.query_result()), result.engine
+        ([0, 1, 2, 3], 'incremental')
+        >>> info["dirty"]
+        1
+        """
+        kernel = self._kernel
+        if kernel is not None:
+            edb = as_indexed(structure)
+            if previous is not None:
+                out = kernel.run_incremental(edb, previous)
+                if out is not None:
+                    (relations, unary_sets), state, info = out
+                    result = EvaluationResult(
+                        relations,
+                        "kernel",
+                        self.program.query,
+                        unary_sets,
+                        engine=kernel.last_engine,
+                    )
+                    return result, state, info
+            out = kernel.try_run_full(edb)
+            if out is not None:
+                relations, unary_sets = out
+                result = EvaluationResult(
+                    relations,
+                    "kernel",
+                    self.program.query,
+                    unary_sets,
+                    engine=kernel.last_engine,
+                )
+                return result, kernel.last_state, None
+        return self.run(structure), None, None
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"CompiledProgram({len(self.program.rules)} rules, "

@@ -185,18 +185,22 @@ def delta_to_datalog(program: ElogDeltaProgram) -> Program:
 
 
 def evaluate_elog_delta(
-    program: ElogDeltaProgram, tree
+    program: ElogDeltaProgram, tree, method: str = "auto"
 ) -> EvaluationResult:
     """Evaluate an Elog-Delta program on a tree (root :class:`Node`).
 
     Funnels through the compiled engine
-    (:mod:`repro.datalog.plan`); callers with many trees can compile
-    ``delta_to_datalog(program)`` once with
-    :func:`repro.datalog.plan.compile_program` and run the plan per
-    document, rebuilding only the per-tree ``_DeltaStructure``.
+    (:mod:`repro.datalog.plan`) with the same strategy auto-selection as
+    every other entry point (the reserved ``before[...]`` /
+    ``notafter[...]`` / ``notbefore[...]`` relations put these programs
+    outside the kernel fragment, so auto falls through to the
+    grounding/semi-naive strategies); pass ``method`` to force one.
+    Callers with many trees can compile ``delta_to_datalog(program)``
+    once with :func:`repro.datalog.plan.compile_program` and run the
+    plan per document, rebuilding only the per-tree ``_DeltaStructure``.
     """
     structure = _DeltaStructure(tree)
-    return evaluate(delta_to_datalog(program), structure, method="seminaive")
+    return evaluate(delta_to_datalog(program), structure, method=method)
 
 
 def anbn_program() -> ElogDeltaProgram:

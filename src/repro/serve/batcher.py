@@ -73,7 +73,7 @@ from repro.errors import (
 )
 from repro.serve.cache import ResultCache
 from repro.serve.executor import ShardExecutor, content_hash
-from repro.serve.faults import validate_shard_result
+from repro.serve.faults import validate_shard_result, validate_warm_result
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import RegisteredWrapper
 from repro.serve.supervisor import Quarantine, ShardSupervisor
@@ -204,6 +204,122 @@ class MicroBatcher:
                 self.max_delay, self._schedule_flush, entry.cache_key
             )
         return await future
+
+    async def submit_warm(
+        self,
+        entry: RegisteredWrapper,
+        html: str,
+        doc_id: str,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """One document through the incremental warm path.
+
+        ``doc_id`` names the document across versions (a URL, a crawl
+        key); requests are routed by ``content_hash(doc_id)`` -- not by
+        document content -- so every version of one document lands on
+        the shard process holding its previous snapshot + derived masks.
+        A state miss (first visit, evicted state, respawned worker) is
+        simply a cold run on the shard, so the path is always correct;
+        the exact-match result cache still short-circuits unchanged
+        re-crawls before any shard is touched.  Warm requests bypass the
+        coalescing queue: re-crawl traffic is per-document serial, and a
+        coalesced batch would route by content instead of by ``doc_id``.
+        """
+        doc_hash = (await self._content_hashes([html]))[0]
+        self.quarantine.check(doc_hash)
+        hit = self._cache.get((entry.cache_key, doc_hash))
+        if hit is not None:
+            self._metrics.incr("cache_hits")
+            return hit
+        if self._pending >= self.max_pending:
+            self._metrics.incr("rejected")
+            raise ServerOverloaded(
+                f"serving queue full ({self._pending}/{self.max_pending} documents)"
+            )
+        self._metrics.incr("cache_misses")
+        self._pending += 1
+        try:
+            shard = self._executor.shard_for(content_hash(doc_id))
+            if self.supervisor is not None:
+                shard = self.supervisor.route(shard)
+            try:
+                payload = await self._call_warm(
+                    entry, shard, html, doc_id, timeout
+                )
+            except RetryableServeError as exc:
+                if self.supervisor is not None:
+                    self.supervisor.record_failure(shard)
+                if isinstance(exc, ShardCrashed) and not exc.blameless:
+                    if self.quarantine.strike(doc_hash):
+                        self._metrics.incr("quarantined")
+                raise
+            if self.supervisor is not None:
+                self.supervisor.record_success(shard)
+            self.quarantine.absolve(doc_hash)
+            self._cache.put((entry.cache_key, doc_hash), payload, weight=len(html))
+            self._metrics.incr("documents")
+            return payload
+        finally:
+            self._pending -= 1
+
+    async def _call_warm(
+        self,
+        entry: RegisteredWrapper,
+        shard: int,
+        html: str,
+        doc_id: str,
+        timeout: Optional[float],
+    ) -> dict:
+        """One bounded warm shard call (mirrors ``_call_once``).
+
+        Validates the ``{"pages", "stats"}`` payload and feeds the reuse
+        stats into the incremental metrics before returning the single
+        page's output dict."""
+        try:
+            try:
+                installs = self._executor.ensure_installed(
+                    entry.cache_key, entry.wrapper
+                )
+                for install in installs:
+                    await asyncio.wait_for(asyncio.wrap_future(install), timeout)
+                submission = self._executor.submit_warm(
+                    shard, entry.cache_key, [(html, doc_id)]
+                )
+            except ShardCrashed as exc:
+                exc.blameless = True
+                raise
+            except BrokenExecutor:
+                crash = ShardCrashed(
+                    "shard worker died before this batch was submitted; "
+                    "shard respawned, retry the request"
+                )
+                crash.blameless = True
+                raise crash from None
+            result = await asyncio.wait_for(
+                asyncio.wrap_future(submission), timeout
+            )
+        except asyncio.TimeoutError:
+            self._metrics.incr("timeouts")
+            self._executor.kill_shard(shard)
+            raise RequestTimeout(
+                f"shard call exceeded its {timeout:.3f}s budget; "
+                "worker killed and respawned, retry the request"
+            ) from None
+        except BrokenExecutor:
+            raise ShardCrashed(
+                "shard worker died under this request; "
+                "shard respawned, retry the request"
+            ) from None
+        pages, stats = validate_warm_result(result, 1)
+        for stat in stats:
+            if stat.get("warm"):
+                self._metrics.incr("incremental_hits")
+                fraction = stat.get("dirty_fraction")
+                if fraction is not None:
+                    self._metrics.observe_dirty(fraction)
+            else:
+                self._metrics.incr("incremental_misses")
+        return pages[0]
 
     async def run_batch(
         self,

@@ -27,7 +27,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import (
     ServeError,
@@ -36,7 +36,7 @@ from repro.errors import (
     WrapperNotResident,
 )
 from repro.serve.faults import FAULTS_ENV, FaultInjector, FaultPlan, release_hangs
-from repro.wrap.extraction import Wrapper
+from repro.wrap.extraction import Wrapper, WrapperState
 
 
 def content_hash(html: str) -> str:
@@ -46,6 +46,18 @@ def content_hash(html: str) -> str:
 
 #: Per-worker-process wrapper store, populated by :func:`_shard_install`.
 _SHARD_WRAPPERS: Dict[str, Wrapper] = {}
+
+#: Per-worker-process snapshot cache for the incremental warm path:
+#: ``(wrapper key, doc_id) -> WrapperState`` (the previous version's
+#: snapshot + derived kernel masks), LRU-bounded.  Worker death loses
+#: the states, which is always safe -- a state miss is just a cold run.
+_SHARD_STATES: "OrderedDict[Tuple[str, str], WrapperState]" = OrderedDict()
+
+#: Cap on retained per-document states per worker process.  A state
+#: holds one snapshot (columns + payloads, roughly the document's size in
+#: memory), so this bounds worker memory like ``max_installed`` bounds
+#: resident wrappers.
+_STATE_CAP = 128
 
 
 def _shard_install(key: str, wrapper: Wrapper) -> bool:
@@ -78,6 +90,58 @@ def _shard_wrap(key: str, pages: List[str]) -> List[dict]:
     result = [out.to_dict() for out in wrapper.wrap_html_many(pages)]
     if injector is not None:
         result = injector.after_call(key, result)
+    return result
+
+
+def _wrap_warm_against(
+    wrapper: Wrapper,
+    states: "OrderedDict[Tuple[str, str], WrapperState]",
+    key: str,
+    items: List[Tuple[str, str]],
+) -> dict:
+    """Warm-wrap ``(html, doc_id)`` items against a per-document state store.
+
+    Shared by the process and inline shard flavors: each document is
+    evaluated against the state its ``doc_id`` left behind last time (a
+    miss runs cold), and the store is rotated LRU under
+    :data:`_STATE_CAP`.  Returns ``{"pages": [...], "stats": [...]}`` --
+    one output dict and one reuse-stats dict per item.
+    """
+    pages: List[dict] = []
+    stats: List[dict] = []
+    for html, doc_id in items:
+        state_key = (key, doc_id)
+        prior = states.get(state_key)
+        output, state, stat = wrapper.wrap_html_stateful(html, prior)
+        states[state_key] = state
+        states.move_to_end(state_key)
+        while len(states) > _STATE_CAP:
+            states.popitem(last=False)
+        pages.append(output.to_dict())
+        stats.append(
+            {
+                "warm": stat["warm"],
+                "dirty": stat["dirty"],
+                "dirty_fraction": stat["dirty_fraction"],
+            }
+        )
+    return {"pages": pages, "stats": stats}
+
+
+def _shard_wrap_warm(key: str, items: List[Tuple[str, str]]) -> dict:
+    from repro.serve.faults import process_injector
+
+    wrapper = _SHARD_WRAPPERS.get(key)
+    if wrapper is None:
+        raise WrapperNotResident(
+            f"wrapper {key!r} is not resident on this shard; retry the request"
+        )
+    injector = process_injector()
+    if injector is not None:
+        injector.before_call(key, [html for html, _ in items])
+    result = _wrap_warm_against(wrapper, _SHARD_STATES, key, items)
+    if injector is not None:
+        result["pages"] = injector.after_call(key, result["pages"])
     return result
 
 
@@ -144,6 +208,9 @@ class _ProcessShard:
     def run(self, key: str, pages: List[str]) -> Future:
         return self._submit(_shard_wrap, key, pages)
 
+    def run_warm(self, key: str, items: List[Tuple[str, str]]) -> Future:
+        return self._submit(_shard_wrap_warm, key, items)
+
     def ping(self) -> Future:
         return self._submit(_shard_ping)
 
@@ -178,6 +245,7 @@ class _InlineShard:
         )
         self.installed: "OrderedDict[str, bool]" = OrderedDict()
         self._wrappers: Dict[str, Wrapper] = {}
+        self._states: "OrderedDict[Tuple[str, str], WrapperState]" = OrderedDict()
         self.injector: Optional[FaultInjector] = (
             FaultInjector(faults, hard=False, shard_tag="inline")
             if faults is not None and faults.enabled
@@ -193,6 +261,9 @@ class _InlineShard:
     def run(self, key: str, pages: List[str]) -> Future:
         return self.pool.submit(self._wrap, key, pages)
 
+    def run_warm(self, key: str, items: List[Tuple[str, str]]) -> Future:
+        return self.pool.submit(self._wrap_warm, key, items)
+
     def ping(self) -> Future:
         return self.pool.submit(_shard_ping)
 
@@ -207,6 +278,19 @@ class _InlineShard:
         result = [out.to_dict() for out in wrapper.wrap_html_many(pages)]
         if self.injector is not None:
             result = self.injector.after_call(key, result)
+        return result
+
+    def _wrap_warm(self, key: str, items: List[Tuple[str, str]]) -> dict:
+        wrapper = self._wrappers.get(key)
+        if wrapper is None:
+            raise WrapperNotResident(
+                f"wrapper {key!r} is not resident on this shard; retry the request"
+            )
+        if self.injector is not None:
+            self.injector.before_call(key, [html for html, _ in items])
+        result = _wrap_warm_against(wrapper, self._states, key, items)
+        if self.injector is not None:
+            result["pages"] = self.injector.after_call(key, result["pages"])
         return result
 
     def kill(self) -> None:
@@ -226,6 +310,7 @@ class _InlineShard:
         )
         self.installed.clear()
         self._wrappers = {}
+        self._states = OrderedDict()
         old.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
@@ -328,6 +413,20 @@ class ShardExecutor:
         if self._closed:
             raise ServeError("executor is closed")
         return self._shards[shard_index].run(key, pages)
+
+    def submit_warm(
+        self, shard_index: int, key: str, items: List[Tuple[str, str]]
+    ) -> Future:
+        """Warm-evaluate ``(html, doc_id)`` items on one shard.
+
+        Resolves to ``{"pages": [...], "stats": [...]}``; the caller
+        routes by ``content_hash(doc_id)`` (not by document content) so
+        successive versions of one document land on the shard holding
+        its state.
+        """
+        if self._closed:
+            raise ServeError("executor is closed")
+        return self._shards[shard_index].run_warm(key, items)
 
     def ping(self, shard_index: int) -> Future:
         """Health-check round trip through one shard's queue."""

@@ -297,3 +297,38 @@ def validate_shard_result(result: object, expected: int) -> List[Dict]:
     if any("__corrupt__" in item for item in result):
         raise ShardCrashed("shard returned a corrupted payload; treating as a crash")
     return result
+
+
+def validate_warm_result(result: object, expected: int):
+    """Validate the dict form a warm shard call returns.
+
+    A healthy warm call resolves to ``{"pages": [...], "stats": [...]}``
+    with one output dict and one stats dict per submitted item; the
+    pages go through :func:`validate_shard_result` (so injected
+    corruption is caught the same way), and a malformed stats column is
+    likewise treated as a crash.  Returns ``(pages, stats)``.
+
+    >>> validate_warm_result({"pages": [{"a": 1}], "stats": [{"warm": True}]}, 1)
+    ([{'a': 1}], [{'warm': True}])
+    >>> validate_warm_result([{"a": 1}], 1)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ShardCrashed: warm shard call returned list, not a pages/stats dict; treating as a crash
+    """
+    if not isinstance(result, dict):
+        raise ShardCrashed(
+            f"warm shard call returned {type(result).__name__}, not a "
+            "pages/stats dict; treating as a crash"
+        )
+    pages = validate_shard_result(result.get("pages"), expected)
+    stats = result.get("stats")
+    if (
+        not isinstance(stats, list)
+        or len(stats) != expected
+        or not all(isinstance(item, dict) for item in stats)
+    ):
+        raise ShardCrashed(
+            f"warm shard call returned malformed stats for {expected} "
+            "item(s); treating as a crash"
+        )
+    return pages, stats

@@ -58,6 +58,9 @@ class ServeMetrics:
         self._batch_count = 0
         self._batch_documents = 0
         self._batch_max = 0
+        #: Dirty-node histogram of warm (incremental) evaluations, bucketed
+        #: by the fraction of the document the snapshot diff left dirty.
+        self._dirty_hist: Counter = Counter()
         self._started = time.time()
 
     def incr(self, name: str, count: int = 1) -> None:
@@ -68,6 +71,27 @@ class ServeMetrics:
         """Point-in-time values (breaker states, quarantine size, ...)."""
         with self._lock:
             self._gauges[name] = value
+
+    def observe_dirty(self, fraction: float) -> None:
+        """Record one warm evaluation's dirty fraction in the histogram.
+
+        >>> metrics = ServeMetrics()
+        >>> metrics.observe_dirty(0.0005); metrics.observe_dirty(0.3)
+        >>> metrics.snapshot()["incremental"]["dirty_histogram"]
+        {'<=0.1%': 1, '<=50%': 1}
+        """
+        if fraction <= 0.001:
+            bucket = "<=0.1%"
+        elif fraction <= 0.01:
+            bucket = "<=1%"
+        elif fraction <= 0.1:
+            bucket = "<=10%"
+        elif fraction <= 0.5:
+            bucket = "<=50%"
+        else:
+            bucket = ">50%"
+        with self._lock:
+            self._dirty_hist[bucket] += 1
 
     def observe_batch(self, size: int) -> None:
         with self._lock:
@@ -85,6 +109,7 @@ class ServeMetrics:
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
+            dirty_hist = dict(self._dirty_hist)
             latencies = sorted(self._latencies)
             batches = {
                 "count": self._batch_count,
@@ -105,10 +130,21 @@ class ServeMetrics:
                 max_ms=round(latencies[-1] * 1e3, 3),
                 mean_ms=round(sum(latencies) / len(latencies) * 1e3, 3),
             )
+        hits = counters.get("incremental_hits", 0)
+        misses = counters.get("incremental_misses", 0)
+        if hits or misses:
+            gauges["incremental_reuse_fraction"] = round(
+                hits / (hits + misses), 4
+            )
         return {
             "counters": counters,
             "gauges": gauges,
             "batches": batches,
             "latency": latency,
+            "incremental": {
+                "hits": hits,
+                "misses": misses,
+                "dirty_histogram": dirty_hist,
+            },
             "uptime_s": round(uptime, 3),
         }

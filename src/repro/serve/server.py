@@ -6,7 +6,10 @@ Routes (all bodies and responses are JSON):
 method   path                        behavior
 =======  ==========================  ===========================================
 POST     /extract/{name}[@{ver}]     ``{"html": ...}`` -> one wrapped output
-                                     (through the micro-batcher + cache)
+                                     (through the micro-batcher + cache);
+                                     add ``"doc_id"`` for the incremental
+                                     warm path across re-crawls of one
+                                     document
 POST     /batch                      ``{"wrapper": ref, "documents": [...]}``
                                      -> one output per document
 GET      /wrappers                   list registered wrappers
@@ -474,15 +477,27 @@ class ExtractionServer:
             html = data.get("html")
             if not isinstance(html, str):
                 return 400, {"error": "body must be {'html': '<...>'}"}
+            doc_id = data.get("doc_id")
+            if doc_id is not None and not isinstance(doc_id, str):
+                return 400, {"error": "'doc_id' must be a string"}
             try:
                 entry = self.registry.resolve(ref)
             except ServeError as exc:
                 return 404, {"error": str(exc)}
             self.metrics.incr("extract_requests")
             timeout = self.deadline_for(html)
-            payload = await self._with_retries(
-                lambda: self.batcher.submit(entry, html, timeout=timeout)
-            )
+            if doc_id:
+                # Incremental warm path: the shard holding this doc_id's
+                # previous snapshot re-derives only the changed region.
+                payload = await self._with_retries(
+                    lambda: self.batcher.submit_warm(
+                        entry, html, doc_id, timeout=timeout
+                    )
+                )
+            else:
+                payload = await self._with_retries(
+                    lambda: self.batcher.submit(entry, html, timeout=timeout)
+                )
             return 200, {
                 "wrapper": entry.name,
                 "version": entry.version,

@@ -116,6 +116,38 @@ def chain_tree(length: int, label: str = "a") -> Node:
     return root
 
 
+def thread_tree(
+    threads: int,
+    depth: int,
+    label: str = "c",
+    leaf_label: str = "leafc",
+    root_label: str = "r",
+) -> Node:
+    """A root with ``threads`` unary comment chains of ``depth`` nodes.
+
+    Each chain node carries a distinct deterministic text payload (like a
+    comment body), and every chain ends in a ``leaf_label`` node.  The
+    deep-recursion workload of the incremental benchmarks: a recursive
+    descent program needs ``depth`` fixpoint rounds cold, while a warm
+    re-run over a few edited texts touches only the dirty region.
+
+    >>> t = thread_tree(2, 3)
+    >>> t.subtree_size()
+    9
+    >>> str(t)
+    'r(c(c(c(leafc))), c(c(c(leafc))))'
+    """
+    if threads < 1 or depth < 1:
+        raise ValueError("threads and depth must be >= 1")
+    root = Node(root_label)
+    for t in range(threads):
+        node = root.new_child(label, text=f"comment {t} 0")
+        for d in range(depth - 1):
+            node = node.new_child(label, text=f"comment {t} {d + 1}")
+        node.new_child(leaf_label)
+    return root
+
+
 def flat_tree(word: Sequence[str], root_label: str = "r") -> Node:
     """A root whose children carry the labels of ``word`` left to right.
 

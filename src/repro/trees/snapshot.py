@@ -219,6 +219,9 @@ class TreeSnapshot:
         "_label_nodes",
         "_vector_moves",
         "_vector_plans",
+        "_merkle",
+        "_sig",
+        "_diff",
     )
 
     def __init__(
@@ -264,6 +267,18 @@ class TreeSnapshot:
         #: kernel lowering object (identity); owned here so the plan dies
         #: with the document instead of accumulating on the program.
         self._vector_plans: Dict = {}
+        #: Cached :func:`repro.trees.merkle.merkle_table` result (subtree
+        #: hashes + sizes); computed on first use, shared by every diff
+        #: against this snapshot.
+        self._merkle = None
+        #: Cached :func:`repro.trees.merkle.signature_table` lanes (the
+        #: bulk-comparison form the snapshot diff actually matches on).
+        self._sig = None
+        #: One-entry diff memo ``(new_snapshot, SnapshotDiff)`` held by the
+        #: *old* version, so wrappers diffing the same pair once per
+        #: compiled plan pay for one diff (and dropping the old version
+        #: frees the whole chain).
+        self._diff = None
 
     @classmethod
     def from_tree(

@@ -12,8 +12,10 @@ on deterministic synthetic documents that exercise the same code paths
 
 from repro.workloads.docs import (
     CATALOG_WRAPPER,
+    FORUM_WRAPPER,
     catalog_page,
     catalog_pages,
+    forum_page,
     news_page,
     noisy_table_page,
 )
@@ -21,8 +23,10 @@ from repro.workloads.programs import chain_program, even_a_family, wide_program
 
 __all__ = [
     "CATALOG_WRAPPER",
+    "FORUM_WRAPPER",
     "catalog_page",
     "catalog_pages",
+    "forum_page",
     "news_page",
     "noisy_table_page",
     "chain_program",

@@ -107,6 +107,47 @@ def news_page(seed: int, articles: int) -> str:
     )
 
 
+#: The reference Elog- wrapper for :func:`forum_page`: a recursive
+#: descent over arbitrarily deep reply chains.  The recursion makes cold
+#: evaluation pay one fixpoint round per nesting level, which is what the
+#: incremental ``doc_id`` serving path amortizes away on re-crawls.
+FORUM_WRAPPER = """
+thread(x)  <- root(x0), subelem(x0, 'body.div.ul.li', x).
+comment(x) <- thread(x).
+comment(x) <- comment(x0), subelem(x0, 'ul.li', x).
+body(x)    <- comment(x0), subelem(x0, 'p', x).
+"""
+
+
+def forum_page(seed: int, threads: int, depth: int) -> str:
+    """A forum page: ``threads`` top-level comments, each a maximally deep
+    chain of ``depth`` nested replies.
+
+    The deep-recursion counterpart of :func:`news_page` (whose threads
+    stop at depth 3): reply chains here are as deep as requested, so the
+    recursive :data:`FORUM_WRAPPER` rules genuinely iterate.  Comment
+    bodies are deterministic per ``(thread, depth)`` -- re-crawl
+    workloads edit them with targeted string replacement.
+    """
+    rng = random.Random(seed)
+    parts: List[str] = []
+    for t in range(threads):
+        inner = ""
+        for d in range(depth - 1, -1, -1):
+            author = rng.choice(_COMMENTERS)
+            replies = f'<ul class="replies">{inner}</ul>' if inner else ""
+            inner = (
+                f'<li class="comment"><p>Comment {t}.{d} by {author}.</p>'
+                f"{replies}</li>"
+            )
+        parts.append(inner)
+    return (
+        '<html><body><div id="forum"><ul class="threads">'
+        + "".join(parts)
+        + "</ul></div></body></html>"
+    )
+
+
 def noisy_table_page(seed: int, rows: int, noise_divs: int = 10) -> str:
     """A table page buried in layout noise (tests wrapper robustness:
     Elog- rules describe only the objects of interest, not the page)."""

@@ -58,6 +58,22 @@ from repro.wrap.output import (
 DocumentLike = Union[Node, Document, UnrankedStructure, IndexedStructure]
 
 
+class WrapperState:
+    """Opaque per-document state for :meth:`Wrapper.wrap_html_stateful`.
+
+    Holds, per distinct compiled plan (in registration order), the kernel
+    state of the previous version of one document -- its snapshot plus
+    derived masks.  Feed it back as ``prior`` when the *next* version of
+    the same document arrives; plans whose previous run left no reusable
+    state simply start cold.
+    """
+
+    __slots__ = ("states",)
+
+    def __init__(self, states: Dict[int, object]):
+        self.states = states
+
+
 class Wrapper:
     """A wrapper = an ordered set of named information extraction functions.
 
@@ -320,6 +336,86 @@ class Wrapper:
             self._wrap_structure(as_indexed(Document.from_html(page)), root_label)
             for page in pages
         ]
+
+    def wrap_html_stateful(
+        self,
+        page: str,
+        prior: Optional[WrapperState] = None,
+        root_label: str = "result",
+    ):
+        """Wrap one HTML page warm against its previous version.
+
+        ``prior`` is the :class:`WrapperState` returned by this method for
+        an earlier version of the *same* document (``None`` starts cold).
+        Returns ``(output, state, stats)``: the output tree, the state to
+        feed the next version, and a stats dict -- ``stats["warm"]`` is
+        true when at least one plan reused the previous fixpoint
+        (``engine`` starting with ``"incremental"``), and ``dirty`` /
+        ``dirty_fraction`` report the largest diff any plan saw.  Plans
+        outside the kernel fragment fall back to cold evaluation per
+        document, so this is always safe to call.
+
+        >>> from repro.datalog import parse_program
+        >>> w = Wrapper().add_datalog("item", parse_program(
+        ...     "item(x) :- label_li(x).", query="item"))
+        >>> out, state, stats = w.wrap_html_stateful("<ul><li>a<li>b</ul>")
+        >>> out.to_sexpr(), stats["warm"]
+        ('result(item, item)', False)
+        >>> out, state, stats = w.wrap_html_stateful(
+        ...     "<ul><li>a<li>c</ul>", prior=state)
+        >>> out.to_sexpr(), stats["warm"]
+        ('result(item, item)', True)
+        """
+        self.compile()
+        runtime = as_indexed(Document.from_html(page))
+        prior_states = prior.states if prior is not None else {}
+        results: Dict[str, Set[int]] = {}
+        runs: Dict[int, object] = {}
+        next_states: Dict[int, object] = {}
+        engines: List[str] = []
+        dirty: Optional[int] = None
+        dirty_fraction: Optional[float] = None
+        for index, (kind, name, payload) in enumerate(self._functions):
+            if kind != "datalog":
+                raise WrapError(
+                    f"extraction function {name!r} ({kind}) needs a "
+                    "Node-backed structure; streaming Documents only "
+                    "support datalog/Elog extraction"
+                )
+            program, pred = payload
+            plan = self._compiled_plan(index, program)
+            run = runs.get(id(plan))
+            if run is None:
+                # Distinct plans keyed by order of first use: stable
+                # across calls because ``self._functions`` is fixed.
+                slot = len(next_states)
+                result, state, info = plan.run_incremental(
+                    runtime, prior_states.get(slot)
+                )
+                next_states[slot] = state
+                engines.append(result.engine or result.method)
+                if info is not None:
+                    if dirty is None or info["dirty"] > dirty:
+                        dirty = info["dirty"]
+                        dirty_fraction = info["dirty_fraction"]
+                run = runs[id(plan)] = result
+            ids = run.unary(pred)
+            known = results.get(name)
+            results[name] = ids if known is None else known | ids
+        assignment: Dict[int, str] = {}
+        for name in self.names():
+            for ident in results.get(name, ()):
+                assignment.setdefault(ident, name)
+        output = build_output_from_snapshot(
+            runtime.base.snapshot(), assignment, root_label=root_label
+        )
+        stats = {
+            "warm": any(e.startswith("incremental") for e in engines),
+            "engines": engines,
+            "dirty": dirty,
+            "dirty_fraction": dirty_fraction,
+        }
+        return output, WrapperState(next_states), stats
 
     def extract_html_many(
         self,

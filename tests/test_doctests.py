@@ -30,7 +30,9 @@ import repro.structures
 import repro.paper
 import repro.tmnf.depth_index
 import repro.trees.binary
+import repro.trees.diff
 import repro.trees.generate
+import repro.trees.merkle
 import repro.trees.node
 import repro.trees.ranked
 import repro.trees.snapshot
@@ -48,6 +50,8 @@ MODULES = [
     repro.trees.unranked,
     repro.trees.ranked,
     repro.trees.generate,
+    repro.trees.merkle,
+    repro.trees.diff,
     repro.datalog.terms,
     repro.datalog.parser,
     repro.datalog.plan,

@@ -118,3 +118,26 @@ class TestDeltaProgramPlumbing:
         tree = flat_tree("bab")  # ids: 1=b, 2=a, 3=b
         result = evaluate_elog_delta(program, tree)
         assert result.query_result() == {3}
+
+class TestMethodSelection:
+    """``evaluate_elog_delta`` funnels through the shared strategy
+    auto-selection; the reserved delta relations put these programs
+    outside the kernel fragment, so auto must agree with an explicitly
+    forced engine instead of silently mis-binding."""
+
+    @pytest.mark.parametrize("word", ["ab", "aabb", "ba", "aab", "abab", ""])
+    def test_auto_matches_seminaive(self, word):
+        tree = flat_tree(word or "r")
+        auto = evaluate_elog_delta(anbn_program(), tree)
+        semi = evaluate_elog_delta(anbn_program(), tree, method="seminaive")
+        assert auto.query_result() == semi.query_result()
+        for pred in ("a0", "b0", "anbn"):
+            assert auto.unary(pred) == semi.unary(pred)
+
+    def test_kernel_refuses_delta_signature(self):
+        # The propagation kernel must reject (not drop rules from)
+        # programs using the reserved delta relations.
+        from repro.datalog.kernel import compile_kernel
+        from repro.elog.delta import delta_to_datalog
+
+        assert compile_kernel(delta_to_datalog(anbn_program())) is None

@@ -59,16 +59,19 @@ import asyncio
 import concurrent.futures
 import http.client
 import json
+import os
 import pathlib
 import sys
 import time
 
 from repro.serve import (
+    DaemonThread,
     ExtractionServer,
     MicroBatcher,
     ResultCache,
     ServeMetrics,
     ServerThread,
+    ShardDaemon,
     ShardExecutor,
     WrapperRegistry,
     content_hash,
@@ -456,6 +459,100 @@ def bench_chaos(requests: int, shards: int):
         thread.stop()
 
 
+def bench_remote_cluster(requests: int):
+    """Remote-shard overhead: the same HTTP stream over socket shards.
+
+    Boots three :class:`~repro.serve.shard.ShardDaemon` instances on
+    loopback and points the router at them with ``remote_shards`` --
+    every fixpoint now pays a framed-RPC round trip (pickle + CRC32 +
+    socket) instead of a process-pool hand-off.  The row quantifies that
+    transport tax against the clean local ``http`` row; compare
+    ``rps`` here with the ``http`` row's.
+
+    The daemons' own page counters are the ground truth that the remote
+    path ran: if no daemon served a page, the router silently fell back
+    to local shards and the row would be a lie -- abort instead.
+    """
+    daemons = [DaemonThread(ShardDaemon("127.0.0.1")) for _ in range(3)]
+    addresses = [f"{h}:{p}" for h, p in (d.start() for d in daemons)]
+    server = ExtractionServer(
+        make_registry(), port=0, shards=3, remote_shards=addresses,
+        max_batch=8, max_delay=0.002, max_pending=4 * requests,
+        cache_size=0,
+    )
+    thread = ServerThread(server)
+    host, port = thread.start()
+    try:
+        pages = make_pages(requests)
+        connection = http.client.HTTPConnection(host, port, timeout=120)
+        start = time.perf_counter()
+        try:
+            for page in pages:
+                connection.request(
+                    "POST", "/extract/catalog", json.dumps({"html": page})
+                )
+                response = connection.getresponse()
+                body = json.loads(response.read())
+                assert response.status == 200, body
+        finally:
+            connection.close()
+        elapsed = time.perf_counter() - start
+        pages_by_daemon = [d.daemon.stats["pages"] for d in daemons]
+        if sum(pages_by_daemon) < requests:
+            raise SystemExit(
+                "remote cluster path not exercised: daemons served "
+                f"{pages_by_daemon} pages for {requests} requests"
+            )
+        row = {
+            "requests": requests,
+            "daemons": len(daemons),
+            "elapsed_s": elapsed,
+            "rps": round(requests / elapsed, 1),
+            "pages_by_daemon": pages_by_daemon,
+            "transport": "remote",
+        }
+        print(
+            f"    remote {requests / elapsed:8.1f} req/s over "
+            f"{len(daemons)} socket daemons "
+            f"(pages per daemon: {pages_by_daemon})"
+        )
+        return row
+    finally:
+        thread.stop()
+        for daemon in daemons:
+            daemon.stop()
+
+
+def bench_multicore(requests: int):
+    """HTTP throughput with 1 vs N local process shards.
+
+    The catalog stream is fixpoint-bound, so on a multi-core box the
+    sharded row should scale with worker processes.  On a single-core
+    runner the speedup is ~1x -- the row records ``cores`` so readers
+    can tell the two apart.
+    """
+    cores = os.cpu_count() or 1
+    many = min(4, cores) if cores > 1 else 2
+    single = bench_http(requests, concurrency=8, shards=1)
+    sharded = bench_http(requests, concurrency=8, shards=many)
+    speedup = single["elapsed_s"] / sharded["elapsed_s"]
+    row = {
+        "requests": requests,
+        "cores": cores,
+        "shards_single": 1,
+        "shards_multi": many,
+        "rps_single": single["rps"],
+        "rps_multi": sharded["rps"],
+        "speedup_multicore": round(speedup, 2),
+    }
+    print(
+        f"    cores  {single['rps']:8.1f} req/s at 1 shard vs "
+        f"{sharded['rps']:8.1f} req/s at {many} shards "
+        f"({cores} cores, speedup={speedup:.2f}x)"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     smoke = "--smoke" in argv
@@ -469,6 +566,8 @@ def main(argv=None) -> int:
         documents=8 if smoke else 12, repeat=2 if smoke else 3, shards=shards
     )
     chaos_row = bench_chaos(requests, shards=0)
+    remote_row = bench_remote_cluster(requests)
+    multicore_row = bench_multicore(requests)
     payload = {
         "experiment": "serve_micro_batching",
         "workload": (
@@ -495,6 +594,13 @@ def main(argv=None) -> int:
                 "same HTTP stack with kill_every=5 fault injection; "
                 "in-server retries must absorb every crash"
             ),
+            "remote_cluster": (
+                "3 loopback ShardDaemons behind RemoteShardExecutor "
+                "(framed pickle RPC, consistent-hash ring routing)"
+            ),
+            "multicore": (
+                "http row at 1 vs min(4, cores) local process shards"
+            ),
         },
         "smoke": smoke,
         "rows": rows,
@@ -502,6 +608,8 @@ def main(argv=None) -> int:
         "http": http_row,
         "warm_doc": warm_row,
         "chaos": chaos_row,
+        "remote_cluster": remote_row,
+        "multicore": multicore_row,
     }
     out_path = pathlib.Path(__file__).resolve().parent / "BENCH_serve.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -861,6 +861,60 @@ def report_incremental(smoke: bool = False) -> None:
     print(f"    wrote {out_path}")
 
 
+def _assert_remote_path_exercised() -> None:
+    """CI guard: the socket transport must still carry real fixpoints.
+
+    Boots one :class:`~repro.serve.shard.ShardDaemon` on loopback,
+    installs the catalog wrapper through the framed RPC protocol and
+    streams a page through ``RemoteShardExecutor``.  If the daemon's own
+    ``pages`` counter stays at zero, the remote path has silently
+    stopped being exercised (e.g. a refactor made the executor fall back
+    to local shards) -- the cluster benchmarks and chaos suite would
+    then be measuring the wrong stack, so the smoke job must fail
+    loudly.
+    """
+    import asyncio
+
+    from repro.serve import (
+        DaemonThread,
+        RemoteShardExecutor,
+        ShardDaemon,
+        WrapperRegistry,
+    )
+
+    registry = WrapperRegistry()
+    registry.register(
+        "catalog", CATALOG_WRAPPER, kind="elog",
+        patterns=["record", "name", "price"],
+    )
+    entry = registry.get("catalog")
+    daemon = DaemonThread(ShardDaemon("127.0.0.1"))
+    host, port = daemon.start()
+    try:
+        async def probe():
+            executor = RemoteShardExecutor([f"{host}:{port}"])
+            try:
+                for future in executor.ensure_installed(
+                    entry.cache_key, entry.wrapper
+                ):
+                    await future
+                page = catalog_page(seed=7, items=3)
+                return await executor.submit(0, entry.cache_key, [page])
+            finally:
+                await executor.aclose()
+
+        results = asyncio.run(probe())
+        pages = daemon.daemon.stats["pages"]
+        if RemoteShardExecutor.mode != "remote" or pages < 1 or not results:
+            raise SystemExit(
+                "remote shard path no longer exercised: daemon served "
+                f"{pages} pages and the executor returned {results!r}"
+            )
+    finally:
+        daemon.stop()
+    print("    remote-path guard: framed RPC wrap -> daemon fixpoint ok")
+
+
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv[1:]
     if "--kernel-only" in sys.argv[1:]:
@@ -874,6 +928,7 @@ if __name__ == "__main__":
         report_stream(smoke=True)
         report_incremental(smoke=True)
         report_delta(smoke=True)
+        _assert_remote_path_exercised()
     else:
         report_t42()
         report_p35()
@@ -887,3 +942,4 @@ if __name__ == "__main__":
         report_kernel()
         report_stream()
         report_incremental()
+        _assert_remote_path_exercised()

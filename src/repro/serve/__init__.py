@@ -34,7 +34,17 @@ offending document; 422 after N strikes, ``/quarantine`` to inspect),
 per-shard circuit breakers fed by a background health checker that
 respawn sick shards and reroute their keys, and a deterministic fault
 injector (kill / delay / hang / corrupt on the Nth call, poison-marker
-pages) used by the chaos tests and the CI chaos job.
+pages, plus the network kinds drop_conn / delay_frame / garble_frame)
+used by the chaos tests and the CI chaos jobs.
+
+The cluster layer (``repro.serve.shard`` / ``repro.serve.transport`` /
+``repro.serve.ring``) extends the same machinery across boxes: shard
+daemons (``python -m repro.serve.shard --listen host:port``) speak a
+length-prefixed frame protocol, :class:`RemoteShardExecutor` maps every
+transport failure onto the error taxonomy above (so retries, breakers
+and quarantine apply unchanged), and a consistent-hash :class:`HashRing`
+in the supervisor routes keys with minimal movement under membership
+change -- a dead or draining daemon moves only its own key interval.
 
 Quickstart::
 
@@ -53,20 +63,27 @@ from repro.serve.executor import ShardExecutor, content_hash
 from repro.serve.faults import FaultInjector, FaultPlan
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import RegisteredWrapper, WrapperRegistry
+from repro.serve.ring import HashRing
 from repro.serve.server import ExtractionServer, ServerThread
+from repro.serve.shard import DaemonThread, ShardDaemon
 from repro.serve.supervisor import CircuitBreaker, Quarantine, ShardSupervisor
+from repro.serve.transport import RemoteShardExecutor
 
 __all__ = [
     "CircuitBreaker",
+    "DaemonThread",
     "ExtractionServer",
     "FaultInjector",
     "FaultPlan",
+    "HashRing",
     "MicroBatcher",
     "Quarantine",
     "RegisteredWrapper",
+    "RemoteShardExecutor",
     "ResultCache",
     "ServeMetrics",
     "ServerThread",
+    "ShardDaemon",
     "ShardExecutor",
     "ShardSupervisor",
     "WrapperRegistry",

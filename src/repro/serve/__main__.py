@@ -48,6 +48,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="process shards for evaluation (0 = inline single shard)",
     )
+    parser.add_argument(
+        "--remote-shard",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "address of a remote shard daemon (python -m repro.serve.shard); "
+            "repeat for each daemon -- overrides --shards"
+        ),
+    )
     parser.add_argument("--max-batch", type=int, default=16)
     parser.add_argument(
         "--max-delay-ms",
@@ -145,6 +155,7 @@ async def _amain(args: argparse.Namespace) -> int:
         health_interval=args.health_interval,
         breaker_threshold=args.breaker_threshold,
         faults=args.faults,
+        remote_shards=args.remote_shard,
     )
     await server.start()
     stop = asyncio.Event()

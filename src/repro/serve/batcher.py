@@ -143,6 +143,17 @@ class MicroBatcher:
         """Documents currently queued or in flight."""
         return self._pending
 
+    def _route(self, routing_hash: str) -> int:
+        """The shard for one routing key (doc content hash or doc_id hash).
+
+        With a supervisor attached this is consistent-hash ring routing
+        over the healthy shards (membership change moves only the
+        affected key intervals); without one it is the executor's flat
+        home-shard mapping."""
+        if self.supervisor is not None:
+            return self.supervisor.route_hash(routing_hash)
+        return self._executor.shard_for(routing_hash)
+
     # -- request entry points ------------------------------------------------
 
     async def submit(
@@ -239,9 +250,7 @@ class MicroBatcher:
         self._metrics.incr("cache_misses")
         self._pending += 1
         try:
-            shard = self._executor.shard_for(content_hash(doc_id))
-            if self.supervisor is not None:
-                shard = self.supervisor.route(shard)
+            shard = self._route(content_hash(doc_id))
             try:
                 payload = await self._call_warm(
                     entry, shard, html, doc_id, timeout
@@ -278,7 +287,7 @@ class MicroBatcher:
         try:
             try:
                 installs = self._executor.ensure_installed(
-                    entry.cache_key, entry.wrapper
+                    entry.cache_key, entry.wrapper, shard=shard
                 )
                 for install in installs:
                     await asyncio.wait_for(asyncio.wrap_future(install), timeout)
@@ -471,10 +480,7 @@ class MicroBatcher:
             )
             by_shard: Dict[int, List[str]] = {}
             for doc_hash in misses:
-                shard = self._executor.shard_for(doc_hash)
-                if self.supervisor is not None:
-                    shard = self.supervisor.route(shard)
-                by_shard.setdefault(shard, []).append(doc_hash)
+                by_shard.setdefault(self._route(doc_hash), []).append(doc_hash)
             pages_by_hash = {h: docs[indexes[0]][0] for h, indexes in misses.items()}
             groups = await asyncio.gather(
                 *(
@@ -562,7 +568,7 @@ class MicroBatcher:
         try:
             try:
                 installs = self._executor.ensure_installed(
-                    entry.cache_key, entry.wrapper
+                    entry.cache_key, entry.wrapper, shard=shard
                 )
                 for install in installs:
                     await asyncio.wait_for(asyncio.wrap_future(install), timeout)

@@ -375,38 +375,68 @@ class ShardExecutor:
         """Deterministic shard index for one document content hash."""
         return int(doc_hash[:16], 16) % len(self._shards)
 
-    def ensure_installed(self, key: str, wrapper: Wrapper) -> List[Future]:
+    def ensure_installed(
+        self, key: str, wrapper: Wrapper, shard: Optional[int] = None
+    ) -> List[Future]:
         """Install ``key`` on every shard that lacks it; pending futures.
 
         The wrapper is pickled to each process shard at most once while it
         stays resident; callers await the returned futures before
-        submitting work for ``key``.  Shard stores are LRU-bounded by
-        ``max_installed``: the least recently used key is uninstalled from
-        the worker (safe -- its next request just re-installs), keeping
-        worker memory flat however many registrations come and go.
+        submitting work for ``key``.  With ``shard`` given, only that
+        shard's install future is returned -- the caller's request
+        depends on it alone; installs elsewhere still fire but heal in
+        the background (their failures just forget the key for a later
+        retry).  Shard stores are LRU-bounded by ``max_installed``: the
+        least recently used key is uninstalled from the worker (safe --
+        its next request just re-installs), keeping worker memory flat
+        however many registrations come and go.
         """
         if self._closed:
             raise ServeError("executor is closed")
         futures: List[Future] = []
-        for shard in self._shards:
-            if key in shard.installed:
-                shard.installed.move_to_end(key)
+        for index, target in enumerate(self._shards):
+            if key in target.installed:
+                target.installed.move_to_end(key)
                 continue
-            future = shard.install(key, wrapper)
-            shard.installed[key] = True
+            future = target.install(key, wrapper)
+            target.installed[key] = True
             # A failed install must not poison the shard: forget the
             # key again so the next request retries the install.
-            future.add_done_callback(_forget_on_failure(shard, key))
-            futures.append(future)
-            while len(shard.installed) > self.max_installed:
-                stale, _ = shard.installed.popitem(last=False)
+            future.add_done_callback(_forget_on_failure(target, key))
+            if shard is None or index == shard:
+                futures.append(future)
+            while len(target.installed) > self.max_installed:
+                stale, _ = target.installed.popitem(last=False)
                 try:
                     # Fire-and-forget: the single-worker pool is FIFO, so
                     # any batch already queued for ``stale`` runs first.
-                    shard.uninstall(stale)
+                    target.uninstall(stale)
                 except (ServerOverloaded, ShardCrashed):
                     pass  # pool respawned: the whole store is gone anyway
         return futures
+
+    def installed_on(self, key: str) -> List[int]:
+        """Shard indices currently holding ``key`` (acked installs)."""
+        return [
+            index
+            for index, shard in enumerate(self._shards)
+            if key in shard.installed
+        ]
+
+    def shard_state(self, shard_index: int) -> Dict:
+        """Transport view of one shard for ``/healthz`` (local flavor)."""
+        return {
+            "transport": "local",
+            "mode": self.mode,
+            "connected": not self._closed,
+            "draining": False,
+            "reconnects_total": 0,
+            "installed_wrappers": len(self._shards[shard_index].installed),
+        }
+
+    def is_draining(self, shard_index: int) -> bool:
+        """Local shards never drain independently of the server."""
+        return False
 
     def submit(self, shard_index: int, key: str, pages: List[str]) -> Future:
         """Evaluate a sub-batch of pages on one shard (future of dicts)."""

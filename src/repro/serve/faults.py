@@ -34,9 +34,27 @@ Faults, all counter-based (``0`` disables each):
   crashes the worker, regardless of counters: the deterministic poison
   page used to exercise quarantine.
 
+Network faults, applied by the *router side* of the remote-shard
+transport (:mod:`repro.serve.transport`) — counted per frame sent, one
+counter per remote shard connection:
+
+* ``drop_conn_every=N`` — every Nth frame drops the shard connection
+  before the request completes (models a reset / flaky link); surfaces
+  as a *blameless* :class:`~repro.errors.ShardCrashed` (the injector
+  knows the documents did not kill anything) and the next attempt
+  reconnects;
+* ``delay_frame_every=N`` / ``delay_frame_s=S`` — every Nth frame is
+  delayed ``S`` seconds before being sent (models latency spikes); a
+  delay larger than the request deadline exercises the
+  :class:`~repro.errors.RequestTimeout` path over the network;
+* ``garble_frame_every=N`` — every Nth frame has its payload bytes
+  flipped after the checksum is computed, so the daemon's frame
+  validation rejects it and closes the connection (broken frame ->
+  :class:`~repro.errors.ShardCrashed`, retry reconnects).
+
 Every injected fault appends one JSON line to the file named by the
 ``REPRO_SERVE_FAULT_LOG`` environment variable (if set) — the artifact
-the CI chaos job uploads, and a debugging timeline for local runs.
+the CI chaos jobs upload, and a debugging timeline for local runs.
 """
 
 from __future__ import annotations
@@ -67,6 +85,23 @@ def release_hangs() -> None:
     _HANG_RELEASE.clear()
 
 
+def log_fault_event(event: str, **extra) -> None:
+    """Append one fault event to the JSONL log named by the environment.
+
+    Shared by the shard-call injector and the transport injector so one
+    chaos run yields one merged, ordered timeline."""
+    path = os.environ.get(FAULT_LOG_ENV)
+    if not path:
+        return
+    record = {"event": event, "pid": os.getpid()}
+    record.update(extra)
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+    except OSError:  # pragma: no cover - log path unwritable
+        pass
+
+
 class FaultPlan:
     """A parsed, immutable fault-injection configuration.
 
@@ -81,6 +116,23 @@ class FaultPlan:
     'kill_every=5,delay_every=10,delay_s=0.25'
     >>> FaultPlan.parse(plan.spec()).kill_every
     5
+
+    The network fault kinds round-trip through the same spec strings:
+
+    >>> net = FaultPlan.parse(
+    ...     "drop_conn_every=7,delay_frame_every=3,delay_frame_s=0.2,"
+    ...     "garble_frame_every=11"
+    ... )
+    >>> net.drop_conn_every, net.delay_frame_every, net.garble_frame_every
+    (7, 3, 11)
+    >>> net.spec()
+    'drop_conn_every=7,delay_frame_every=3,delay_frame_s=0.2,garble_frame_every=11'
+    >>> FaultPlan.parse(net.spec()).delay_frame_s
+    0.2
+    >>> net.enabled, net.transport_enabled
+    (True, True)
+    >>> plan.transport_enabled          # evaluation faults only
+    False
     """
 
     __slots__ = (
@@ -91,6 +143,10 @@ class FaultPlan:
         "hang_s",
         "corrupt_every",
         "poison_marker",
+        "drop_conn_every",
+        "delay_frame_every",
+        "delay_frame_s",
+        "garble_frame_every",
         "phase",
     )
 
@@ -103,6 +159,10 @@ class FaultPlan:
         hang_s: float = 3600.0,
         corrupt_every: int = 0,
         poison_marker: str = "",
+        drop_conn_every: int = 0,
+        delay_frame_every: int = 0,
+        delay_frame_s: float = 0.05,
+        garble_frame_every: int = 0,
         phase: int = 0,
     ):
         self.kill_every = int(kill_every)
@@ -112,6 +172,10 @@ class FaultPlan:
         self.hang_s = float(hang_s)
         self.corrupt_every = int(corrupt_every)
         self.poison_marker = poison_marker
+        self.drop_conn_every = int(drop_conn_every)
+        self.delay_frame_every = int(delay_frame_every)
+        self.delay_frame_s = float(delay_frame_s)
+        self.garble_frame_every = int(garble_frame_every)
         self.phase = int(phase)
 
     @property
@@ -122,6 +186,16 @@ class FaultPlan:
             or self.hang_every
             or self.corrupt_every
             or self.poison_marker
+            or self.transport_enabled
+        )
+
+    @property
+    def transport_enabled(self) -> bool:
+        """Whether any *network* fault kind is active (router-side)."""
+        return bool(
+            self.drop_conn_every
+            or self.delay_frame_every
+            or self.garble_frame_every
         )
 
     @classmethod
@@ -183,22 +257,13 @@ class FaultInjector:
         self._lock = threading.Lock()
 
     def _log(self, event: str, **extra) -> None:
-        path = os.environ.get(FAULT_LOG_ENV)
-        if not path:
-            return
-        record = {
-            "event": event,
-            "call": self.calls,
-            "shard": self.shard_tag,
-            "pid": os.getpid(),
-            "hard": self.hard,
-        }
-        record.update(extra)
-        try:
-            with open(path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(record) + "\n")
-        except OSError:  # pragma: no cover - log path unwritable
-            pass
+        log_fault_event(
+            event,
+            call=self.calls,
+            shard=self.shard_tag,
+            hard=self.hard,
+            **extra,
+        )
 
     def _due(self, every: int) -> bool:
         return every > 0 and self.calls % every == 0
@@ -243,6 +308,61 @@ class FaultInjector:
             self._log("corrupt")
             return [{"__corrupt__": True}] * (len(result) + 1)
         return result
+
+
+class TransportFaultInjector:
+    """Applies the network fault kinds to one remote shard connection.
+
+    Lives on the *router* side (one per :class:`~repro.serve.transport`
+    connection), counting frames sent, so a chaos run's network faults
+    are a pure function of each connection's frame sequence -- fully
+    deterministic, like the shard-call injector above.
+
+    :meth:`next_frame` advances the counter and returns the fault due
+    for this frame: ``("drop", None)``, ``("delay", seconds)``,
+    ``("garble", None)`` or ``(None, None)``.  The transport layer is
+    what acts on it (closing the socket, sleeping, flipping payload
+    bytes); this class only decides *when*, and logs each decision to
+    the shared JSONL fault log.
+
+    Examples
+    --------
+    >>> plan = FaultPlan.parse("drop_conn_every=2,garble_frame_every=3")
+    >>> injector = TransportFaultInjector(plan, shard_tag="shard-0")
+    >>> [injector.next_frame()[0] for _ in range(6)]
+    [None, 'drop', 'garble', 'drop', None, 'drop']
+    """
+
+    def __init__(self, plan: FaultPlan, shard_tag: str = "?"):
+        self.plan = plan
+        self.shard_tag = shard_tag
+        self.frames = plan.phase
+        self._lock = threading.Lock()
+
+    def _due(self, every: int) -> bool:
+        return every > 0 and self.frames % every == 0
+
+    def next_frame(self):
+        """Advance the frame counter; return ``(fault, argument)``."""
+        if not self.plan.transport_enabled:
+            return None, None
+        with self._lock:
+            self.frames += 1
+        if self._due(self.plan.drop_conn_every):
+            log_fault_event("drop_conn", frame=self.frames, shard=self.shard_tag)
+            return "drop", None
+        if self._due(self.plan.garble_frame_every):
+            log_fault_event("garble_frame", frame=self.frames, shard=self.shard_tag)
+            return "garble", None
+        if self._due(self.plan.delay_frame_every):
+            log_fault_event(
+                "delay_frame",
+                frame=self.frames,
+                shard=self.shard_tag,
+                seconds=self.plan.delay_frame_s,
+            )
+            return "delay", self.plan.delay_frame_s
+        return None, None
 
 
 #: Lazily-built injector for *process* shard workers, configured from the

@@ -58,13 +58,14 @@ overload / shutdown), 504 deadline exceeded after retries.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import functools
 import json
 import random
 import threading
 import time
 from concurrent.futures import BrokenExecutor
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import (
     PoisonDocument,
@@ -82,6 +83,7 @@ from repro.serve.faults import FaultPlan
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import WrapperRegistry
 from repro.serve.supervisor import Quarantine, ShardSupervisor
+from repro.serve.transport import RemoteShardExecutor
 
 _REASONS = {
     200: "OK",
@@ -127,6 +129,7 @@ class ExtractionServer:
         breaker_threshold: int = 3,
         breaker_cooldown: float = 5.0,
         faults: Union[FaultPlan, str, None] = None,
+        remote_shards: Optional[Sequence[str]] = None,
     ):
         self.registry = registry
         self.host = host
@@ -136,6 +139,9 @@ class ExtractionServer:
             cache_size, ttl=cache_ttl, max_weight=cache_max_weight
         )
         self._shard_count = shards
+        #: ``host:port`` shard daemon addresses; when given, evaluation
+        #: runs on those remote boxes instead of local shards.
+        self.remote_shards: List[str] = list(remote_shards or [])
         self._max_batch = max_batch
         self._max_delay = max_delay
         self._max_pending = max_pending
@@ -170,7 +176,14 @@ class ExtractionServer:
 
     async def start(self) -> None:
         """Bind the listener and bring the executor + batcher up."""
-        self.executor = ShardExecutor(self._shard_count, faults=self.faults)
+        if self.remote_shards:
+            # RemoteShardExecutor must be created on the serving loop
+            # (its connections and tasks live there).
+            self.executor = RemoteShardExecutor(
+                self.remote_shards, faults=self.faults
+            )
+        else:
+            self.executor = ShardExecutor(self._shard_count, faults=self.faults)
         self.supervisor = ShardSupervisor(
             self.executor,
             self.metrics,
@@ -196,7 +209,7 @@ class ExtractionServer:
         except Exception:
             # A failed bind must not leak shard worker processes.
             executor, self.executor, self.batcher = self.executor, None, None
-            await asyncio.get_running_loop().run_in_executor(None, executor.close)
+            await self._close_executor(executor)
             raise
         self.port = self._server.sockets[0].getsockname()[1]
         self._started = time.time()
@@ -235,6 +248,18 @@ class ExtractionServer:
         if self.executor is not None:
             executor = self.executor
             self.executor = None
+            await self._close_executor(executor)
+
+    @staticmethod
+    async def _close_executor(executor) -> None:
+        """Shut an executor down from the serving loop.
+
+        Remote executors close natively on the loop (``aclose``); local
+        process pools block on worker exit, so they close off-loop."""
+        aclose = getattr(executor, "aclose", None)
+        if aclose is not None:
+            await aclose()
+        else:
             await asyncio.get_running_loop().run_in_executor(None, executor.close)
 
     async def serve_forever(self) -> None:
@@ -442,6 +467,11 @@ class ExtractionServer:
             shard_health = (
                 self.supervisor.describe() if self.supervisor is not None else []
             )
+            if self.executor is not None and hasattr(self.executor, "shard_state"):
+                # Per-shard transport state (local|remote, connected,
+                # reconnects, draining) merged into the health entries.
+                for entry in shard_health:
+                    entry.update(self.executor.shard_state(entry["shard"]))
             degraded = any(s["state"] != "closed" for s in shard_health)
             return 200, {
                 "status": "degraded" if degraded else "ok",
@@ -449,7 +479,13 @@ class ExtractionServer:
                 "pending_documents": self.batcher.pending,
                 "max_pending": self.batcher.max_pending,
                 "shards": self.executor.n_shards if self.executor else 0,
+                "transport": self.executor.mode if self.executor else "none",
                 "shard_health": shard_health,
+                "ring": (
+                    self.supervisor.describe_ring()
+                    if self.supervisor is not None
+                    else {}
+                ),
                 "quarantined_documents": len(self.quarantine),
                 "uptime_s": round(time.time() - self._started, 3),
             }
@@ -458,6 +494,26 @@ class ExtractionServer:
                 states = [b.state for b in self.supervisor.breakers]
                 self.metrics.set_gauge(
                     "breakers_open", states.count("open") + states.count("half_open")
+                )
+                self.metrics.set_gauge(
+                    "ring_generation", self.supervisor.ring.generation
+                )
+                self.metrics.set_gauge("ring_members", len(self.supervisor.ring))
+            if self.executor is not None and hasattr(self.executor, "shard_state"):
+                self.metrics.set_gauge(
+                    "shards_connected",
+                    sum(
+                        1
+                        for index in range(self.executor.n_shards)
+                        if self.executor.shard_state(index).get("connected")
+                    ),
+                )
+                self.metrics.set_gauge(
+                    "reconnects_total",
+                    sum(
+                        self.executor.shard_state(index).get("reconnects_total", 0)
+                        for index in range(self.executor.n_shards)
+                    ),
                 )
             self.metrics.set_gauge("quarantined_documents", len(self.quarantine))
             return 200, self.metrics.snapshot()
@@ -558,7 +614,23 @@ class ExtractionServer:
                 ),
             )
             self.metrics.incr("registrations")
-            return 201, entry.describe()
+            # Pre-install the fresh wrapper and report which shards
+            # acked: operators learn immediately whether the cluster can
+            # serve it (a dead daemon simply does not appear here -- its
+            # install self-heals when it comes back).
+            shards_acked: List[int] = []
+            if self.executor is not None:
+                with contextlib.suppress(Exception):
+                    installs = self.executor.ensure_installed(
+                        entry.cache_key, entry.wrapper
+                    )
+                    for install in installs:
+                        with contextlib.suppress(Exception):
+                            await asyncio.wait_for(
+                                asyncio.wrap_future(install), self.deadline_base
+                            )
+                    shards_acked = self.executor.installed_on(entry.cache_key)
+            return 201, dict(entry.describe(), shards_acked=shards_acked)
         if path == "/quarantine/release":
             data = self._json_body(body)
             doc_hash = data.get("hash")

@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import PoisonDocument
 from repro.serve.metrics import ServeMetrics
+from repro.serve.ring import HashRing
 
 Clock = Callable[[], float]
 
@@ -202,11 +204,21 @@ class Quarantine:
 
 
 class ShardSupervisor:
-    """Background health checks + breaker-aware routing + respawns.
+    """Background health checks + ring routing + breakers + respawns.
 
     Created (and started) by the server; the batcher consults
-    :meth:`route` for every shard submission and reports outcomes via
-    :meth:`record_failure` / :meth:`record_success`.
+    :meth:`route_hash` for every shard submission and reports outcomes
+    via :meth:`record_failure` / :meth:`record_success`.
+
+    Routing is a consistent-hash ring (:class:`~repro.serve.ring.HashRing`)
+    over the healthy shards: a document's key routes to its ring owner,
+    and membership tracks health -- a shard whose breaker trips *leaves*
+    the ring (moving only its own key interval onto ring successors), a
+    shard announcing a planned drain leaves without breaker penalty, and
+    a shard whose probe succeeds again *rejoins*, reclaiming exactly the
+    interval it owned before.  A moved key is at worst one cold miss on
+    its new shard (warm state and resident wrappers re-materialize on
+    first use), never a wrong answer.
     """
 
     def __init__(
@@ -217,6 +229,7 @@ class ShardSupervisor:
         ping_timeout: float = 5.0,
         threshold: int = 3,
         cooldown: float = 5.0,
+        vnodes: int = 64,
         clock: Clock = time.monotonic,
     ):
         self._executor = executor
@@ -228,16 +241,26 @@ class ShardSupervisor:
             for _ in range(executor.n_shards)
         ]
         self.respawns = [0] * executor.n_shards
+        #: Consistent-hash ring over shard indices; membership follows
+        #: health (breaker trips and drain notices leave, recoveries
+        #: rejoin), so routing moves only the affected key intervals.
+        self.ring = HashRing(range(executor.n_shards), vnodes=vnodes)
+        #: Last routed shard per key, LRU-bounded -- the basis of the
+        #: ``ring_rebalanced_keys`` counter (a key observed moving to a
+        #: different shard after a membership change).
+        self._last_route: "OrderedDict[str, int]" = OrderedDict()
+        self._last_route_cap = 4096
         self._task: Optional[asyncio.Task] = None
 
     # -- routing ------------------------------------------------------------
 
     def route(self, home_shard: int) -> int:
-        """The shard that should receive work homed at ``home_shard``.
+        """Index-walk fallback: nearest shard whose breaker admits work.
 
-        Walks forward from the home shard to the first one whose breaker
-        admits work; if every breaker is open, the home shard gets the
-        work anyway (it doubles as the half-open probe)."""
+        Kept for callers that route by precomputed home index; ring
+        routing (:meth:`route_hash`) supersedes it on the request path.
+        If every breaker is open, the home shard gets the work anyway
+        (it doubles as the half-open probe)."""
         count = len(self.breakers)
         for offset in range(count):
             shard = (home_shard + offset) % count
@@ -247,15 +270,71 @@ class ShardSupervisor:
                 return shard
         return home_shard
 
+    def route_hash(self, doc_hash: str) -> int:
+        """The shard that should receive work keyed by ``doc_hash``.
+
+        The ring owner among healthy members gets the key; if the owner
+        was admitted but a later membership change moved the key, that
+        movement is counted in ``ring_rebalanced_keys``.  When the ring
+        is empty (every shard unhealthy at once), the flat home shard is
+        used as the half-open probe target, like :meth:`route`."""
+        members = len(self.ring)
+        if members == 0:
+            return self.route(self._executor.shard_for(doc_hash))
+        natural = None
+        chosen = None
+        for shard in self.ring.successors(doc_hash):
+            if natural is None:
+                natural = shard
+            if self.breakers[shard].admits() and not self._draining(shard):
+                chosen = shard
+                break
+        if chosen is None:
+            # Every remaining member is open/draining: probe the owner.
+            chosen = natural
+        if chosen != natural:
+            self._metrics.incr("rerouted")
+        self._note_route(doc_hash, chosen)
+        return chosen
+
+    def _note_route(self, doc_hash: str, shard: int) -> None:
+        prior = self._last_route.get(doc_hash)
+        if prior is not None and prior != shard:
+            self._metrics.incr("ring_rebalanced_keys")
+        self._last_route[doc_hash] = shard
+        self._last_route.move_to_end(doc_hash)
+        while len(self._last_route) > self._last_route_cap:
+            self._last_route.popitem(last=False)
+
+    def _draining(self, shard: int) -> bool:
+        probe = getattr(self._executor, "is_draining", None)
+        return bool(probe(shard)) if probe is not None else False
+
+    # -- ring membership -----------------------------------------------------
+
+    def ring_leave(self, shard: int, reason: str) -> None:
+        if self.ring.remove(shard):
+            self._metrics.incr(f"ring_left_{reason}")
+            self._metrics.set_gauge("ring_members", len(self.ring))
+
+    def ring_join(self, shard: int) -> None:
+        if self.ring.add(shard):
+            self._metrics.incr("ring_rejoined")
+            self._metrics.set_gauge("ring_members", len(self.ring))
+
     # -- outcome reporting --------------------------------------------------
 
     def record_success(self, shard: int) -> None:
         self.breakers[shard].record_success()
+        if shard not in self.ring and not self._draining(shard):
+            self.ring_join(shard)
 
     def record_failure(self, shard: int) -> None:
         if self.breakers[shard].record_failure():
-            # The breaker just opened: proactively respawn the sick
-            # shard so the cooldown is spent coming up, not crashing.
+            # The breaker just opened: leave the ring (keys move to ring
+            # successors) and proactively respawn the sick shard so the
+            # cooldown is spent coming up, not crashing.
+            self.ring_leave(shard, "tripped")
             self._respawn(shard)
 
     def _respawn(self, shard: int) -> None:
@@ -284,7 +363,12 @@ class ShardSupervisor:
             await self.check_once()
 
     async def check_once(self) -> None:
-        """One health sweep: ping every shard, feed the breakers."""
+        """One health sweep: ping every shard, feed the breakers.
+
+        Drain notices picked up by the ping (a daemon announcing planned
+        shutdown) pull the shard from the ring with *no* breaker penalty;
+        a shard that stops draining -- or whose half-open probe succeeds
+        -- rejoins and reclaims its old key interval."""
         for shard in range(self._executor.n_shards):
             if not self.breakers[shard].admits():
                 continue  # open: let the cooldown elapse undisturbed
@@ -293,14 +377,26 @@ class ShardSupervisor:
                 await asyncio.wait_for(
                     asyncio.wrap_future(future), timeout=self.ping_timeout
                 )
+                if self._draining(shard):
+                    # Planned shutdown, not a failure: stop routing new
+                    # keys there before the socket closes.
+                    self.ring_leave(shard, "draining")
+                    continue
                 self.record_success(shard)
             except asyncio.CancelledError:
                 raise
             except Exception:
+                if self._draining(shard):
+                    # The ping read the daemon's drain notice before the
+                    # socket closed under it: a planned shutdown, not a
+                    # failure.  Leave the ring without breaker penalty.
+                    self.ring_leave(shard, "draining")
+                    continue
                 self._metrics.incr("health_check_failures")
                 if self.breakers[shard].state == "half_open":
                     # A failed probe: re-open and respawn again.
                     self.breakers[shard].record_failure()
+                    self.ring_leave(shard, "tripped")
                     self._respawn(shard)
                 else:
                     self.record_failure(shard)
@@ -308,6 +404,16 @@ class ShardSupervisor:
     def describe(self) -> List[Dict]:
         """Per-shard health for ``/healthz`` and ``/metrics``."""
         return [
-            dict(breaker.describe(), shard=index, respawns=self.respawns[index])
+            dict(
+                breaker.describe(),
+                shard=index,
+                respawns=self.respawns[index],
+                in_ring=index in self.ring,
+                draining=self._draining(index),
+            )
             for index, breaker in enumerate(self.breakers)
         ]
+
+    def describe_ring(self) -> Dict:
+        """Ring membership + generation for ``/healthz``."""
+        return self.ring.describe()

@@ -1,0 +1,522 @@
+"""Fault-mapped socket transport for remote evaluation shards.
+
+The :class:`~repro.serve.executor.ShardExecutor` protocol (install a
+wrapper once, stream pages, ping, kill, respawn) was always
+shape-compatible with a wire protocol; this module is that wire.  It has
+one design rule, inherited from the fault-tolerance layer: **every
+transport failure must surface as one of the PR-7 error types**, so the
+batcher's retry/bisection, the supervisor's circuit breakers, the
+quarantine, and the server's backoff loop work against remote boxes
+without a single change:
+
+* connection refused / unreachable daemon -> *blameless*
+  :class:`~repro.errors.ShardCrashed` (the daemon was down before the
+  documents ever reached it);
+* connection reset / EOF / broken frame mid-call ->
+  :class:`~repro.errors.ShardCrashed` (attributable: the documents in
+  flight may be what killed the daemon -- exactly like local worker
+  death, so quarantine strikes work identically);
+* a call exceeding its size-derived deadline is cut off by the batcher's
+  ``asyncio.wait_for`` exactly as for local shards; the cancellation
+  closes the connection (a sequential frame stream that timed out can no
+  longer be trusted) and the failure surfaces as
+  :class:`~repro.errors.RequestTimeout`;
+* a daemon-side evaluation error travels back as a typed error frame and
+  is re-raised as the same :mod:`repro.errors` class (so
+  ``WrapperNotResident`` after a daemon restart, or an injected
+  ``ShardCrashed``, behave bit-for-bit like their local counterparts).
+
+Frame format (both directions)::
+
+    4 bytes big-endian payload length | 4 bytes CRC32 | pickled payload
+
+The CRC turns line noise and injected garbling into a deterministic
+:class:`FrameError` instead of an unpickling crash deep in a handler.
+Payloads are pickled because compiled wrappers must travel to the daemon
+exactly once -- which also means the transport is for **trusted
+networks only** (a cluster-internal fabric), like any pickle RPC.
+
+Requests and responses are matched by ``id``.  Each connection is
+serialized by a lock (one outstanding request), mirroring the
+single-worker semantics of local shards: a ping queued behind a long
+evaluation proves the daemon is draining its queue, and a hung daemon
+fails its ping -- feeding the same breaker machinery.  The daemon may
+interleave one unsolicited frame, ``{"op": "drain"}``, announcing a
+planned shutdown; the client marks the shard draining so the supervisor
+removes it from the consistent-hash ring before the socket closes.
+
+Network fault injection (``drop_conn`` / ``delay_frame`` /
+``garble_frame``, see :mod:`repro.serve.faults`) is applied here on the
+router side, counted per connection frame, so chaos runs remain fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+import zlib
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import repro.errors as _errors
+from repro.errors import ServeError, ShardCrashed
+from repro.serve.faults import FaultPlan, TransportFaultInjector
+
+#: Header: payload length + CRC32, both unsigned 32-bit big-endian.
+_HEADER = struct.Struct(">II")
+
+#: Upper bound on one frame's payload; a length beyond this means a
+#: desynchronized or hostile stream, not a real message.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class FrameError(ServeError):
+    """A frame failed validation (bad length, checksum, or pickle)."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message to ``header + payload`` bytes."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME}-byte cap"
+        )
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_payload(payload: bytes, crc: int) -> dict:
+    """Validate and unpickle one frame payload.
+
+    >>> raw = encode_frame({"op": "ping"})
+    >>> length, crc = _HEADER.unpack(raw[:8])
+    >>> decode_payload(raw[8:], crc)
+    {'op': 'ping'}
+    >>> decode_payload(b"garbage", crc)
+    Traceback (most recent call last):
+        ...
+    repro.serve.transport.FrameError: frame checksum mismatch (garbled on the wire)
+    """
+    if zlib.crc32(payload) != crc:
+        raise FrameError("frame checksum mismatch (garbled on the wire)")
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:
+        raise FrameError(f"frame payload does not unpickle: {exc}") from None
+    if not isinstance(message, dict):
+        raise FrameError(
+            f"frame payload is {type(message).__name__}, expected a dict"
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict:
+    """Read and validate one frame; raises :class:`FrameError` on junk."""
+    header = await reader.readexactly(_HEADER.size)
+    length, crc = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise FrameError(
+            f"incoming frame claims {length} bytes (cap {MAX_FRAME}); "
+            "stream desynchronized"
+        )
+    payload = await reader.readexactly(length)
+    return decode_payload(payload, crc)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, message: dict, garble: bool = False
+) -> None:
+    """Send one frame; ``garble=True`` flips payload bytes post-checksum.
+
+    Garbling is the injected ``garble_frame`` network fault: the header
+    stays intact so the receiver reads the right number of bytes, then
+    fails the CRC check -- a deterministic model of line corruption.
+    """
+    data = encode_frame(message)
+    if garble:
+        body = bytes(b ^ 0xA5 for b in data[_HEADER.size :])
+        data = data[: _HEADER.size] + body
+    writer.write(data)
+    await writer.drain()
+
+
+# -- typed error frames -----------------------------------------------------
+
+
+def encode_error(exc: BaseException) -> dict:
+    """Serialize an exception for an error frame (type + message)."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "blameless": bool(getattr(exc, "blameless", False)),
+    }
+
+
+def decode_error(payload: object) -> Exception:
+    """Rebuild the typed exception an error frame carries.
+
+    Known :mod:`repro.errors` classes are reconstructed exactly (so the
+    retry/quarantine policy treats remote failures like local ones);
+    anything else degrades to :class:`~repro.errors.ServeError`.
+
+    >>> err = decode_error({"type": "ShardCrashed", "message": "boom",
+    ...                     "blameless": True})
+    >>> type(err).__name__, err.blameless
+    ('ShardCrashed', True)
+    >>> type(decode_error({"type": "ValueError", "message": "x"})).__name__
+    'ServeError'
+    """
+    if not isinstance(payload, dict):
+        return ShardCrashed("remote shard sent a malformed error frame")
+    name = payload.get("type", "")
+    message = payload.get("message", "remote shard error")
+    cls = getattr(_errors, str(name), None)
+    if isinstance(cls, type) and issubclass(cls, _errors.ReproError):
+        exc = cls(message)
+    else:
+        exc = ServeError(f"remote shard error {name}: {message}")
+    if hasattr(exc, "blameless") and "blameless" in payload:
+        try:
+            exc.blameless = bool(payload["blameless"])
+        except AttributeError:  # pragma: no cover - class-level property
+            pass
+    return exc
+
+
+# -- the router-side shard client -------------------------------------------
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``host:port``; raises :class:`~repro.errors.ServeError`.
+
+    >>> parse_address("127.0.0.1:9001")
+    ('127.0.0.1', 9001)
+    """
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ServeError(f"remote shard address {address!r} is not host:port")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ServeError(
+            f"remote shard address {address!r} has a non-numeric port"
+        ) from None
+
+
+class _RemoteShard:
+    """One daemon connection: sequential framed RPC with fault mapping."""
+
+    def __init__(
+        self,
+        address: str,
+        injector: Optional[TransportFaultInjector] = None,
+        connect_timeout: float = 5.0,
+    ):
+        self.address = address
+        self.host, self.port = parse_address(address)
+        self.injector = injector
+        self.connect_timeout = connect_timeout
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.lock = asyncio.Lock()
+        self.connected = False
+        self.draining = False
+        self.connects = 0
+        self.reconnects = 0
+        #: Installed wrapper keys (client-side view; cleared on any drop,
+        #: because a reconnected daemon may be a fresh process).
+        self.installed: "OrderedDict[str, bool]" = OrderedDict()
+        #: Stats from the daemon's last ping reply (installs, wraps, ...).
+        self.last_stats: Dict = {}
+        self._next_id = 0
+
+    async def _connect(self) -> None:
+        try:
+            self.reader, self.writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                self.connect_timeout,
+            )
+        except (OSError, asyncio.TimeoutError, TimeoutError) as exc:
+            crash = ShardCrashed(
+                f"cannot connect to remote shard {self.address} ({exc!r}); "
+                "retry the request"
+            )
+            # The daemon was unreachable before any page was sent: the
+            # documents in this call cannot be at fault.
+            crash.blameless = True
+            raise crash from None
+        self.connects += 1
+        if self.connects > 1:
+            self.reconnects += 1
+        self.connected = True
+        # A fresh connection may be to a fresh daemon: nothing is resident
+        # (drop() already cleared ``installed``; keys present now belong
+        # to installs in flight on this very connection) and any old
+        # drain notice is stale.
+        self.draining = False
+
+    def drop(self) -> None:
+        """Close the connection (kill/respawn/timeout/chaos); lazily reopens."""
+        if self.writer is not None:
+            try:
+                self.writer.close()
+            except Exception:  # pragma: no cover - already-dead transport
+                pass
+        self.reader = None
+        self.writer = None
+        self.connected = False
+        self.installed.clear()
+
+    async def request(self, op: str, **payload):
+        """One framed round trip; maps every transport failure.
+
+        Serialized per connection: at most one outstanding request, so
+        responses cannot interleave and a timed-out (cancelled) call
+        drops the connection rather than leaving a stray response to
+        desynchronize the next caller.
+        """
+        async with self.lock:
+            self._next_id += 1
+            rid = self._next_id
+            try:
+                if not self.connected:
+                    await self._connect()
+                fault, argument = (
+                    self.injector.next_frame()
+                    if self.injector is not None
+                    else (None, None)
+                )
+                if fault == "delay":
+                    await asyncio.sleep(argument)
+                if fault == "drop":
+                    self.drop()
+                    crash = ShardCrashed(
+                        f"connection to remote shard {self.address} dropped "
+                        "(injected drop_conn); retry the request"
+                    )
+                    crash.blameless = True
+                    raise crash
+                await write_frame(
+                    self.writer,
+                    {"id": rid, "op": op, **payload},
+                    garble=(fault == "garble"),
+                )
+                while True:
+                    reply = await read_frame(self.reader)
+                    if reply.get("op") == "drain":
+                        # Unsolicited planned-shutdown notice: flag the
+                        # shard so the supervisor pulls it from the ring.
+                        self.draining = True
+                        continue
+                    if reply.get("id") == rid:
+                        break
+                    raise FrameError(
+                        f"response id {reply.get('id')!r} does not match "
+                        f"request id {rid} (stream desynchronized)"
+                    )
+            except ShardCrashed:
+                raise
+            except asyncio.CancelledError:
+                # Deadline overrun (asyncio.wait_for) or shutdown: the
+                # in-flight response can no longer be matched safely.
+                self.drop()
+                raise
+            except (
+                FrameError,
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                EOFError,
+                OSError,
+            ) as exc:
+                self.drop()
+                raise ShardCrashed(
+                    f"remote shard {self.address} failed mid-call "
+                    f"({type(exc).__name__}: {exc}); retry the request"
+                ) from None
+        if reply.get("draining"):
+            self.draining = True
+        if not reply.get("ok", False):
+            raise decode_error(reply.get("error"))
+        return reply.get("value")
+
+    def state(self) -> Dict:
+        return {
+            "transport": "remote",
+            "address": self.address,
+            "connected": self.connected,
+            "draining": self.draining,
+            "reconnects_total": self.reconnects,
+            "installed_wrappers": len(self.installed),
+            "daemon": dict(self.last_stats),
+        }
+
+
+class RemoteShardExecutor:
+    """The :class:`~repro.serve.executor.ShardExecutor` surface over sockets.
+
+    Drop-in for the batcher and supervisor: ``run``-shaped submissions
+    return awaitable futures (``asyncio`` tasks -- ``asyncio.wrap_future``
+    passes them through), ``ping`` feeds the health loop,
+    ``kill_shard``/``respawn_shard`` become connection drops with lazy
+    reconnect, and every failure is one of the PR-7 error types, so the
+    retry, breaker, quarantine, and rerouting machinery upstream applies
+    unchanged to a cluster of remote boxes.
+
+    Must be created and used on one asyncio event loop (the server's).
+    """
+
+    mode = "remote"
+
+    def __init__(
+        self,
+        addresses: List[str],
+        faults: Optional[FaultPlan] = None,
+        max_installed: int = 32,
+        connect_timeout: float = 5.0,
+    ):
+        if not addresses:
+            raise ServeError("RemoteShardExecutor needs at least one address")
+        self.faults = faults
+        self._shards = [
+            _RemoteShard(
+                address,
+                injector=(
+                    TransportFaultInjector(faults, shard_tag=f"remote-{index}")
+                    if faults is not None and faults.transport_enabled
+                    else None
+                ),
+                connect_timeout=connect_timeout,
+            )
+            for index, address in enumerate(addresses)
+        ]
+        self.max_installed = max(1, max_installed)
+        self._closed = False
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def addresses(self) -> List[str]:
+        return [shard.address for shard in self._shards]
+
+    def shard_for(self, doc_hash: str) -> int:
+        """Flat home-shard index (the ring in the supervisor overrides
+        this for routing; this remains the no-supervisor fallback)."""
+        return int(doc_hash[:16], 16) % len(self._shards)
+
+    def _task(self, coroutine) -> "asyncio.Task":
+        if self._closed:
+            raise ServeError("executor is closed")
+        return asyncio.ensure_future(coroutine)
+
+    def ensure_installed(self, key: str, wrapper, shard: Optional[int] = None):
+        """Install ``key`` wherever it is missing; futures to await.
+
+        With ``shard`` given, only that shard's install future is
+        returned (the caller's request depends on it alone); installs to
+        the *other* shards are still fired but self-heal in the
+        background -- a dead daemon elsewhere in the ring must not fail
+        this request.
+        """
+        if self._closed:
+            raise ServeError("executor is closed")
+        futures = []
+        for index, remote in enumerate(self._shards):
+            if key in remote.installed:
+                remote.installed.move_to_end(key)
+                continue
+            if remote.draining and index != shard:
+                continue  # a draining daemon will never be routed new keys
+            task = self._task(remote.request("install", key=key, wrapper=wrapper))
+            remote.installed[key] = True
+            task.add_done_callback(self._forget_on_failure(remote, key))
+            if shard is None or index == shard:
+                futures.append(task)
+            while len(remote.installed) > self.max_installed:
+                stale, _ = remote.installed.popitem(last=False)
+                evict = self._task(remote.request("uninstall", key=stale))
+                evict.add_done_callback(_consume_exception)
+        return futures
+
+    @staticmethod
+    def _forget_on_failure(remote: _RemoteShard, key: str):
+        def callback(task) -> None:
+            if task.cancelled() or task.exception() is not None:
+                remote.installed.pop(key, None)
+
+        return callback
+
+    def installed_on(self, key: str) -> List[int]:
+        """Shard indices currently holding ``key`` (acked installs)."""
+        return [
+            index
+            for index, remote in enumerate(self._shards)
+            if key in remote.installed
+        ]
+
+    def submit(self, shard_index: int, key: str, pages: List[str]):
+        return self._task(
+            self._shards[shard_index].request("wrap", key=key, pages=pages)
+        )
+
+    def submit_warm(self, shard_index: int, key: str, items: List[Tuple[str, str]]):
+        return self._task(
+            self._shards[shard_index].request("wrap_warm", key=key, items=items)
+        )
+
+    def ping(self, shard_index: int):
+        remote = self._shards[shard_index]
+
+        async def _ping() -> bool:
+            value = await remote.request("ping")
+            if isinstance(value, dict):
+                remote.draining = bool(value.get("draining", False))
+                remote.last_stats = value.get("stats", {})
+            return True
+
+        return self._task(_ping())
+
+    def kill_shard(self, shard_index: int) -> None:
+        """A hung/timed-out call: sever the connection.  The daemon (on
+        another box) survives; what matters is that *this* router stops
+        trusting the stream and reconnects fresh."""
+        if not self._closed:
+            self._shards[shard_index].drop()
+
+    def respawn_shard(self, shard_index: int) -> None:
+        """Supervisor hook: drop and let the next use reconnect."""
+        self.kill_shard(shard_index)
+
+    def shard_state(self, shard_index: int) -> Dict:
+        return self._shards[shard_index].state()
+
+    def is_draining(self, shard_index: int) -> bool:
+        return self._shards[shard_index].draining
+
+    async def aclose(self) -> None:
+        """Close every connection (the event-loop-native shutdown)."""
+        if self._closed:
+            return
+        self._closed = True
+        for remote in self._shards:
+            remote.drop()
+
+    def close(self) -> None:
+        """Best-effort sync close (for callers outside the loop)."""
+        self._closed = True
+        for remote in self._shards:
+            try:
+                remote.drop()
+            except Exception:  # pragma: no cover - loop already gone
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"RemoteShardExecutor({self.addresses!r})"
+
+
+def _consume_exception(task) -> None:
+    """Done-callback that swallows background-task failures quietly."""
+    if not task.cancelled():
+        task.exception()

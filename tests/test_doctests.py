@@ -23,7 +23,9 @@ import repro.serve.executor
 import repro.serve.faults
 import repro.serve.metrics
 import repro.serve.registry
+import repro.serve.ring
 import repro.serve.supervisor
+import repro.serve.transport
 import repro.caterpillar.rewrite
 import repro.caterpillar.syntax
 import repro.structures
@@ -70,7 +72,9 @@ MODULES = [
     repro.serve.faults,
     repro.serve.metrics,
     repro.serve.registry,
+    repro.serve.ring,
     repro.serve.supervisor,
+    repro.serve.transport,
     repro.wrap.extraction,
     repro.wrap.output,
     repro.wrap.serialize,

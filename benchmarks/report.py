@@ -915,6 +915,33 @@ def _assert_remote_path_exercised() -> None:
     print("    remote-path guard: framed RPC wrap -> daemon fixpoint ok")
 
 
+def _assert_tracing_overhead_bounded() -> None:
+    """CI guard: request tracing must stay within its <= 5% budget.
+
+    Runs the ``tracing_overhead`` measurement from
+    :mod:`benchmarks.bench_serve` (identical HTTP stacks with tracing on
+    vs ``tracing=False``, interleaved min-of-N) at smoke scale.  Tracing
+    is on by default in production, so a regression that makes spans
+    expensive -- an allocation on the kernel hot loop, a lock on the
+    request path -- taxes every request; fail the smoke job instead of
+    letting it land silently.
+    """
+    import bench_serve
+
+    row = bench_serve.bench_tracing_overhead(requests=32, repeat=3, shards=1)
+    if row["overhead_fraction"] > 0.05:
+        raise SystemExit(
+            "tracing overhead above the 5% budget: "
+            f"{row['overhead_fraction'] * 100:+.1f}% "
+            f"({row['untraced_rps']} req/s untraced vs "
+            f"{row['traced_rps']} req/s traced)"
+        )
+    print(
+        "    tracing-overhead guard: "
+        f"{row['overhead_fraction'] * 100:+.1f}% <= 5% ok"
+    )
+
+
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv[1:]
     if "--kernel-only" in sys.argv[1:]:
@@ -929,6 +956,7 @@ if __name__ == "__main__":
         report_incremental(smoke=True)
         report_delta(smoke=True)
         _assert_remote_path_exercised()
+        _assert_tracing_overhead_bounded()
     else:
         report_t42()
         report_p35()
@@ -943,3 +971,4 @@ if __name__ == "__main__":
         report_stream()
         report_incremental()
         _assert_remote_path_exercised()
+        _assert_tracing_overhead_bounded()

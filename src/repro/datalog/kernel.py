@@ -144,6 +144,27 @@ _NARROW_FRONTIER = 4
 #: a short fuse only costs runs that genuinely oscillate narrow-then-wide.
 _NARROW_ROUND_LIMIT = 8
 
+#: Width-histogram buckets preallocated per run: bucket ``b`` counts
+#: rounds whose frontier pushed ``[2^b, 2^(b+1))`` new facts -- 48
+#: buckets cover any document this process can address.
+_WIDTH_BUCKETS = 48
+
+
+def _trim_widths(widths: List[int]) -> List[int]:
+    """Drop trailing empty width buckets for a compact stats payload.
+
+    >>> _trim_widths([2, 0, 1, 0, 0])
+    [2, 0, 1]
+    >>> _trim_widths([0, 0])
+    []
+    """
+    last = 0
+    for index, count in enumerate(widths):
+        if count:
+            last = index + 1
+    return widths[:last]
+
+
 #: Matches every node whose byte survived the mask conjunction.
 _NONZERO = re.compile(rb"[^\x00]")
 
@@ -600,6 +621,25 @@ class KernelProgram:
         #: frontier engine completed it (``None`` otherwise) -- feed it
         #: back as ``previous`` to :meth:`run_incremental`.
         self.last_state: Optional[KernelState] = None
+        #: Cheap per-run stats of the most recent run -- the unified
+        #: shape for cold *and* warm runs (warm runs add their reuse
+        #: keys on top):
+        #:
+        #: * ``engine`` -- same value as :attr:`last_engine`;
+        #: * ``rounds`` -- frontier rounds executed (0 for a pure
+        #:   scalar-worklist run, which has no round structure);
+        #: * ``facts`` -- derived facts at fixpoint;
+        #: * ``frontier_widths`` -- counts per power-of-two width
+        #:   bucket (index ``b`` covers widths in ``[2^b, 2^(b+1))``);
+        #: * ``fallback`` -- why the run left the pure frontier engine:
+        #:   ``None``, ``"narrow_frontier"``, ``"vector_plan_rejected"``
+        #:   or ``"vectorize_disabled"``;
+        #: * warm runs (:meth:`run_incremental`) additionally carry
+        #:   ``dirty`` / ``dirty_fraction`` / ``carried`` / ``deleted``.
+        #:
+        #: Only counters the engines already compute are recorded, so
+        #: the hot loops stay allocation-free.
+        self.last_stats: Optional[Dict[str, object]] = None
         # Introspection mirrors of the primary (preferred) lowering.
         primary = self._variants[0]
         self.lowered = primary.lowered
@@ -866,10 +906,12 @@ class KernelProgram:
         ``((relations, unary_sets), state, info)`` -- the same payload as
         :meth:`try_run_full`, the state for the *next* warm run (packed
         from the worklist bitmasks after a narrow-frontier scalar
-        handoff), and a stats dict
-        (``dirty`` / ``dirty_fraction`` / ``carried`` / ``deleted`` /
-        ``rounds``) -- or ``None`` whenever warm evaluation does not
-        apply, in which case the caller should run cold:
+        handoff), and a stats dict -- the unified :attr:`last_stats`
+        shape (``engine`` / ``rounds`` / ``facts`` /
+        ``frontier_widths`` / ``fallback``) plus the warm-only reuse
+        keys ``dirty`` / ``dirty_fraction`` / ``carried`` / ``deleted``
+        -- or ``None`` whenever warm evaluation does not apply, in
+        which case the caller should run cold:
 
         * the structure binds a different lowering variant (or none), or
           either snapshot is not an unranked vector-plannable document
@@ -908,6 +950,7 @@ class KernelProgram:
         if len({nw - ov for ov, nw, _ in d.ranges}) > _INCREMENTAL_SHIFT_CAP:
             return None
         self.last_state = None
+        self.last_stats = None
         P = variant.npreds
         hops = variant.hops
         derived_old = previous.derived
@@ -1015,6 +1058,7 @@ class KernelProgram:
             "rounds": 0,
         }
         narrow = 0
+        widths = [0] * _WIDTH_BUCKETS
         while True:
             if not any(pending):
                 break
@@ -1038,6 +1082,8 @@ class KernelProgram:
                             if has_triggers[hp]:
                                 pending[hp] |= new
             pushed = sum(f.bit_count() for f in pending)
+            if pushed:
+                widths[pushed.bit_length() - 1] += 1
             if 0 < pushed <= _NARROW_FRONTIER:
                 narrow += 1
                 if narrow >= _NARROW_ROUND_LIMIT:
@@ -1045,23 +1091,45 @@ class KernelProgram:
                     out = self._run_scalar(
                         bound, resume=(derived, pending), capture_state=True
                     )
+                    scalar_stats = self.last_stats or {}
+                    info.update(
+                        engine="incremental+worklist",
+                        facts=scalar_stats.get("facts", 0),
+                        frontier_widths=_trim_widths(widths),
+                        fallback="narrow_frontier",
+                    )
+                    self.last_stats = info
                     return out, self.last_state, info
             else:
                 narrow = 0
         self.last_engine = "incremental"
         state = KernelState(variant, snapshot, derived)
         self.last_state = state
+        info.update(
+            engine="incremental",
+            facts=sum(d.bit_count() for d in derived),
+            frontier_widths=_trim_widths(widths),
+            fallback=None,
+        )
+        self.last_stats = info
         return self._collect_vector(variant, snapshot, derived), state, info
 
     def _run_bound(self, bound) -> Tuple[Relations, Dict[str, Set[int]]]:
         """Dispatch one bound lowering to the preferred engine."""
         self.last_state = None
+        self.last_stats = None
         if VECTORIZE_PROPAGATION:
             result = self._run_vector(bound)
             if result is not None:
                 return result
+            fallback = "vector_plan_rejected"
+        else:
+            fallback = "vectorize_disabled"
         self.last_engine = "worklist"
-        return self._run_scalar(bound)
+        out = self._run_scalar(bound)
+        if self.last_stats is not None:
+            self.last_stats["fallback"] = fallback
+        return out
 
     def _run_vector(self, bound):
         """Frontier-at-a-time fixpoint; ``None`` when the plan falls back.
@@ -1100,9 +1168,12 @@ class KernelProgram:
                     if has_triggers[hp]:
                         pending[hp] |= new
         narrow = 0
+        rounds = 0
+        widths = [0] * _WIDTH_BUCKETS
         while True:
             if not any(pending):
                 break
+            rounds += 1
             cur = pending
             pending = [0] * P
             for pred in range(P):
@@ -1122,17 +1193,36 @@ class KernelProgram:
                             if has_triggers[hp]:
                                 pending[hp] |= new
             pushed = sum(f.bit_count() for f in pending)
+            if pushed:
+                widths[pushed.bit_length() - 1] += 1
             if 0 < pushed <= _NARROW_FRONTIER:
                 narrow += 1
                 if narrow >= _NARROW_ROUND_LIMIT:
                     self.last_engine = "frontier+worklist"
-                    return self._run_scalar(
+                    out = self._run_scalar(
                         bound, resume=(derived, pending), capture_state=True
                     )
+                    # The scalar finisher recorded its own fact count;
+                    # fold the frontier prefix's round structure back in.
+                    if self.last_stats is not None:
+                        self.last_stats.update(
+                            engine="frontier+worklist",
+                            rounds=rounds,
+                            frontier_widths=_trim_widths(widths),
+                            fallback="narrow_frontier",
+                        )
+                    return out
             else:
                 narrow = 0
         self.last_engine = "frontier"
         self.last_state = KernelState(variant, snapshot, derived)
+        self.last_stats = {
+            "engine": "frontier",
+            "rounds": rounds,
+            "facts": sum(d.bit_count() for d in derived),
+            "frontier_widths": _trim_widths(widths),
+            "fallback": None,
+        }
         return self._collect_vector(variant, snapshot, derived)
 
     @staticmethod
@@ -1165,6 +1255,13 @@ class KernelProgram:
             name: set() for name, _, _ in outputs
         }
         if P == 0:
+            self.last_stats = {
+                "engine": self.last_engine,
+                "rounds": 0,
+                "facts": 0,
+                "frontier_widths": [],
+                "fallback": None,
+            }
             return relations, {}
 
         firstchild = snapshot.firstchild
@@ -1362,6 +1459,15 @@ class KernelProgram:
         for name, pred, arity in outputs:
             if pred >= 0 and arity == 0 and (gmask >> pred) & 1:
                 relations[name] = {()}
+        # One end-of-run popcount pass over the per-node bitmasks: O(n),
+        # outside the propagation loop, so the hot path stays untouched.
+        self.last_stats = {
+            "engine": self.last_engine,
+            "rounds": 0,
+            "facts": sum(m.bit_count() for m in masks) + gmask.bit_count(),
+            "frontier_widths": [],
+            "fallback": None,
+        }
         return relations, unary_sets
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -64,6 +64,14 @@ class EvaluationResult:
         ``"frontier"`` (big-int frontier-at-a-time), ``"worklist"`` (scalar
         Dowling–Gallier), or ``"frontier+worklist"`` (narrow-frontier
         bailout).  ``None`` for the other strategies.
+    stats:
+        For ``method == "kernel"``, the kernel's per-run stats dict
+        (``engine`` / ``rounds`` / ``facts`` / ``frontier_widths`` /
+        ``fallback``; warm runs add ``dirty`` / ``dirty_fraction`` /
+        ``carried`` / ``deleted``) -- the same shape
+        :meth:`CompiledProgram.run_incremental` returns as its ``info``
+        triple member, now available for cold runs too.  ``None`` for
+        non-kernel strategies.
     """
 
     def __init__(
@@ -73,11 +81,13 @@ class EvaluationResult:
         query: Optional[str],
         unary_sets: Optional[Dict[str, Set[int]]] = None,
         engine: Optional[str] = None,
+        stats: Optional[Dict[str, object]] = None,
     ):
         self.relations = relations
         self.method = method
         self.query = query
         self.engine = engine
+        self.stats = stats
         #: Optional engine-supplied ``pred -> {node ids}`` sets (the
         #: propagation kernel produces them for free), so batch wrappers
         #: skip re-deriving them from the tuple sets.
@@ -586,6 +596,7 @@ class CompiledProgram:
                         self.program.query,
                         unary_sets,
                         engine=kernel.last_engine,
+                        stats=kernel.last_stats,
                     )
             method = "ground" if self.grounding_applicable(edb) else "seminaive"
 
@@ -609,6 +620,7 @@ class CompiledProgram:
                 self.program.query,
                 unary_sets,
                 engine=kernel.last_engine,
+                stats=kernel.last_stats,
             )
         if method == "ground":
             from repro.datalog.grounding import evaluate_ground
@@ -682,6 +694,7 @@ class CompiledProgram:
                         self.program.query,
                         unary_sets,
                         engine=kernel.last_engine,
+                        stats=info,
                     )
                     return result, state, info
             out = kernel.try_run_full(edb)
@@ -693,6 +706,7 @@ class CompiledProgram:
                     self.program.query,
                     unary_sets,
                     engine=kernel.last_engine,
+                    stats=kernel.last_stats,
                 )
                 return result, kernel.last_state, None
         return self.run(structure), None, None

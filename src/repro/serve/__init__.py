@@ -46,6 +46,18 @@ and quarantine apply unchanged), and a consistent-hash :class:`HashRing`
 in the supervisor routes keys with minimal movement under membership
 change -- a dead or draining daemon moves only its own key interval.
 
+Observability (``repro.serve.tracing`` / ``repro.serve.metrics``): every
+request gets a :class:`~repro.serve.tracing.Span` tree --
+``http.request`` down through batcher queueing, ring routing, shard RPC,
+and the kernel run itself (engine, rounds, fallback reason), with remote
+daemons shipping kernel stats back over an optional trace frame field
+that old daemons simply ignore.  A bounded :class:`Tracer` retains
+recent traces plus slow/error exemplars behind ``GET /debug/traces``;
+:class:`ServeMetrics` keeps fixed-bucket latency histograms per stage
+and per wrapper version, exported as JSON (``/metrics``) or Prometheus
+text exposition (``/metrics?format=prometheus``); and
+:class:`RequestLog` emits one structured JSON line per request.
+
 Quickstart::
 
     from repro.serve import ExtractionServer, WrapperRegistry
@@ -61,12 +73,13 @@ from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.executor import ShardExecutor, content_hash
 from repro.serve.faults import FaultInjector, FaultPlan
-from repro.serve.metrics import ServeMetrics
+from repro.serve.metrics import ServeMetrics, parse_prometheus_text
 from repro.serve.registry import RegisteredWrapper, WrapperRegistry
 from repro.serve.ring import HashRing
 from repro.serve.server import ExtractionServer, ServerThread
 from repro.serve.shard import DaemonThread, ShardDaemon
 from repro.serve.supervisor import CircuitBreaker, Quarantine, ShardSupervisor
+from repro.serve.tracing import RequestLog, Span, Tracer, find_spans, stage_timings
 from repro.serve.transport import RemoteShardExecutor
 
 __all__ = [
@@ -80,12 +93,18 @@ __all__ = [
     "Quarantine",
     "RegisteredWrapper",
     "RemoteShardExecutor",
+    "RequestLog",
     "ResultCache",
     "ServeMetrics",
     "ServerThread",
     "ShardDaemon",
     "ShardExecutor",
     "ShardSupervisor",
+    "Span",
+    "Tracer",
     "WrapperRegistry",
     "content_hash",
+    "find_spans",
+    "parse_prometheus_text",
+    "stage_timings",
 ]

@@ -25,6 +25,7 @@ import sys
 
 from repro.serve.registry import WrapperRegistry
 from repro.serve.server import ExtractionServer
+from repro.serve.tracing import RequestLog
 
 #: Name under which ``--demo`` registers the reference catalog wrapper.
 DEMO_WRAPPER = "catalog"
@@ -122,10 +123,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=f"register the reference catalog wrapper as {DEMO_WRAPPER!r}",
     )
+    parser.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable request tracing (/debug/traces, per-stage spans)",
+    )
+    parser.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=256,
+        help="recent traces retained for /debug/traces",
+    )
+    parser.add_argument(
+        "--access-log",
+        default="-",
+        metavar="PATH",
+        help=(
+            "structured JSON request log: one line per request with trace "
+            "id, stage timings, retries, reroutes; '-' = stderr (default), "
+            "'off' disables"
+        ),
+    )
     return parser
 
 
 async def _amain(args: argparse.Namespace) -> int:
+    # One structured JSON line per event, shared by the server's
+    # per-request access log and these startup/shutdown notices --
+    # replaces the ad-hoc prints this entrypoint used to emit.
+    if args.access_log == "off":
+        access_log = None
+        boot_log = RequestLog(sys.stderr)
+    else:
+        access_log = sys.stderr if args.access_log == "-" else args.access_log
+        boot_log = RequestLog(access_log)
     registry = WrapperRegistry(args.registry_dir)
     if args.demo:
         from repro.workloads import CATALOG_WRAPPER
@@ -136,9 +167,9 @@ async def _amain(args: argparse.Namespace) -> int:
             kind="elog",
             patterns=["record", "name", "price"],
         )
-        print(f"registered demo wrapper {entry.key}", flush=True)
+        boot_log.log("demo_wrapper_registered", wrapper=entry.key)
     if args.faults:
-        print(f"FAULT INJECTION ACTIVE: {args.faults}", flush=True)
+        boot_log.log("fault_injection_active", spec=args.faults)
     server = ExtractionServer(
         registry,
         host=args.host,
@@ -156,6 +187,9 @@ async def _amain(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         faults=args.faults,
         remote_shards=args.remote_shard,
+        tracing=not args.no_tracing,
+        trace_buffer=args.trace_buffer,
+        access_log=access_log,
     )
     await server.start()
     stop = asyncio.Event()
@@ -163,14 +197,24 @@ async def _amain(args: argparse.Namespace) -> int:
     for signum in (signal.SIGINT, signal.SIGTERM):
         with contextlib.suppress(NotImplementedError):  # pragma: no cover
             loop.add_signal_handler(signum, stop.set)
+    # The serve-smoke CI job waits for this exact line on stdout before
+    # sending traffic, so it stays a plain print.
     print(
         f"repro.serve listening on {server.address} "
         f"({len(registry)} wrapper(s), {server.executor.n_shards} shard(s), "
         f"mode={server.executor.mode})",
         flush=True,
     )
+    boot_log.log(
+        "listening",
+        address=server.address,
+        wrappers=len(registry),
+        shards=server.executor.n_shards,
+        mode=server.executor.mode,
+        tracing=server.tracer is not None,
+    )
     await stop.wait()
-    print("repro.serve: draining and shutting down ...", flush=True)
+    boot_log.log("shutdown", reason="signal")
     await server.stop()
     return 0
 

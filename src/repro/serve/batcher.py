@@ -73,10 +73,15 @@ from repro.errors import (
 )
 from repro.serve.cache import ResultCache
 from repro.serve.executor import ShardExecutor, content_hash
-from repro.serve.faults import validate_shard_result, validate_warm_result
+from repro.serve.faults import (
+    validate_shard_result,
+    validate_traced_result,
+    validate_warm_result,
+)
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import RegisteredWrapper
 from repro.serve.supervisor import Quarantine, ShardSupervisor
+from repro.serve.tracing import Span
 
 #: A per-document evaluation outcome: the payload, or the error that
 #: should reach exactly that document's waiter.
@@ -90,8 +95,19 @@ class _Queue:
 
     def __init__(self, entry: RegisteredWrapper):
         self.entry = entry
-        #: ``(html, doc_hash, future, timeout)`` tuples awaiting a flush.
-        self.items: List[Tuple[str, str, asyncio.Future, Optional[float]]] = []
+        #: ``(html, doc_hash, future, timeout, span, queue_span)`` tuples
+        #: awaiting a flush; the span pair is ``(None, None)`` when the
+        #: request is untraced.
+        self.items: List[
+            Tuple[
+                str,
+                str,
+                asyncio.Future,
+                Optional[float],
+                Optional[Span],
+                Optional[Span],
+            ]
+        ] = []
         self.timer: Optional[asyncio.TimerHandle] = None
 
 
@@ -161,12 +177,16 @@ class MicroBatcher:
         entry: RegisteredWrapper,
         html: str,
         timeout: Optional[float] = None,
+        span: Optional[Span] = None,
     ) -> dict:
         """One document through the coalescing queue; returns its payload.
 
         ``timeout`` bounds each *shard call* this document participates
         in; a call that exceeds it kills the hung worker and fails with
         :class:`~repro.errors.RequestTimeout` (retryable upstream).
+        ``span``, when given, is the request's root span: the batcher
+        hangs ``batcher.queue`` / ``batch.flush`` / ``ring.route`` /
+        ``shard.call`` children off it as the document moves through.
         """
         doc_hash = (await self._content_hashes([html]))[0]
         # Quarantine outranks the cache: a poisoned hash is rejected
@@ -193,7 +213,9 @@ class MicroBatcher:
             self._pending += 1
             try:
                 outcome = (
-                    await self._evaluate(entry, [(html, doc_hash)], timeout)
+                    await self._evaluate(
+                        entry, [(html, doc_hash)], timeout, span=span
+                    )
                 )[0]
             finally:
                 self._pending -= 1
@@ -206,7 +228,8 @@ class MicroBatcher:
         future: asyncio.Future = loop.create_future()
         self._inflight.add(future)
         future.add_done_callback(self._inflight.discard)
-        queue.items.append((html, doc_hash, future, timeout))
+        queue_span = span.child("batcher.queue") if span is not None else None
+        queue.items.append((html, doc_hash, future, timeout, span, queue_span))
         self._pending += 1
         if len(queue.items) >= self.max_batch:
             self._schedule_flush(entry.cache_key)
@@ -222,6 +245,7 @@ class MicroBatcher:
         html: str,
         doc_id: str,
         timeout: Optional[float] = None,
+        span: Optional[Span] = None,
     ) -> dict:
         """One document through the incremental warm path.
 
@@ -250,10 +274,20 @@ class MicroBatcher:
         self._metrics.incr("cache_misses")
         self._pending += 1
         try:
+            route_span = span.child("ring.route") if span is not None else None
             shard = self._route(content_hash(doc_id))
+            if route_span is not None:
+                route_span.tag(
+                    shard=shard,
+                    rerouted=bool(
+                        self.supervisor is not None
+                        and self.supervisor.last_route_rerouted
+                    ),
+                )
+                route_span.finish()
             try:
                 payload = await self._call_warm(
-                    entry, shard, html, doc_id, timeout
+                    entry, shard, html, doc_id, timeout, span=span
                 )
             except RetryableServeError as exc:
                 if self.supervisor is not None:
@@ -261,6 +295,13 @@ class MicroBatcher:
                 if isinstance(exc, ShardCrashed) and not exc.blameless:
                     if self.quarantine.strike(doc_hash):
                         self._metrics.incr("quarantined")
+                    if span is not None:
+                        span.tag(
+                            quarantine_strikes=span.tags.get(
+                                "quarantine_strikes", 0
+                            )
+                            + 1
+                        )
                 raise
             if self.supervisor is not None:
                 self.supervisor.record_success(shard)
@@ -278,48 +319,63 @@ class MicroBatcher:
         html: str,
         doc_id: str,
         timeout: Optional[float],
+        span: Optional[Span] = None,
     ) -> dict:
         """One bounded warm shard call (mirrors ``_call_once``).
 
         Validates the ``{"pages", "stats"}`` payload and feeds the reuse
         stats into the incremental metrics before returning the single
-        page's output dict."""
+        page's output dict.  The ``shard.call`` span is tagged with the
+        warm/engines/dirty reuse stats (warm calls carry no per-stage
+        shard timings; the engines list still names the kernel used)."""
+        call_span = (
+            span.child("shard.call", shard=shard, pages=1, warm=True)
+            if span is not None
+            else None
+        )
         try:
             try:
-                installs = self._executor.ensure_installed(
-                    entry.cache_key, entry.wrapper, shard=shard
+                try:
+                    installs = self._executor.ensure_installed(
+                        entry.cache_key, entry.wrapper, shard=shard
+                    )
+                    for install in installs:
+                        await asyncio.wait_for(
+                            asyncio.wrap_future(install), timeout
+                        )
+                    submission = self._executor.submit_warm(
+                        shard, entry.cache_key, [(html, doc_id)]
+                    )
+                except ShardCrashed as exc:
+                    exc.blameless = True
+                    raise
+                except BrokenExecutor:
+                    crash = ShardCrashed(
+                        "shard worker died before this batch was submitted; "
+                        "shard respawned, retry the request"
+                    )
+                    crash.blameless = True
+                    raise crash from None
+                result = await asyncio.wait_for(
+                    asyncio.wrap_future(submission), timeout
                 )
-                for install in installs:
-                    await asyncio.wait_for(asyncio.wrap_future(install), timeout)
-                submission = self._executor.submit_warm(
-                    shard, entry.cache_key, [(html, doc_id)]
-                )
-            except ShardCrashed as exc:
-                exc.blameless = True
-                raise
+            except asyncio.TimeoutError:
+                self._metrics.incr("timeouts")
+                self._executor.kill_shard(shard)
+                raise RequestTimeout(
+                    f"shard call exceeded its {timeout:.3f}s budget; "
+                    "worker killed and respawned, retry the request"
+                ) from None
             except BrokenExecutor:
-                crash = ShardCrashed(
-                    "shard worker died before this batch was submitted; "
+                raise ShardCrashed(
+                    "shard worker died under this request; "
                     "shard respawned, retry the request"
-                )
-                crash.blameless = True
-                raise crash from None
-            result = await asyncio.wait_for(
-                asyncio.wrap_future(submission), timeout
-            )
-        except asyncio.TimeoutError:
-            self._metrics.incr("timeouts")
-            self._executor.kill_shard(shard)
-            raise RequestTimeout(
-                f"shard call exceeded its {timeout:.3f}s budget; "
-                "worker killed and respawned, retry the request"
-            ) from None
-        except BrokenExecutor:
-            raise ShardCrashed(
-                "shard worker died under this request; "
-                "shard respawned, retry the request"
-            ) from None
-        pages, stats = validate_warm_result(result, 1)
+                ) from None
+            pages, stats = validate_warm_result(result, 1)
+        except BaseException as exc:
+            if call_span is not None:
+                call_span.fail(f"{type(exc).__name__}: {exc}")
+            raise
         for stat in stats:
             if stat.get("warm"):
                 self._metrics.incr("incremental_hits")
@@ -328,6 +384,14 @@ class MicroBatcher:
                     self._metrics.observe_dirty(fraction)
             else:
                 self._metrics.incr("incremental_misses")
+        if call_span is not None:
+            stat = stats[0]
+            call_span.tag(
+                warm=bool(stat.get("warm")),
+                engines=stat.get("engines"),
+                dirty_fraction=stat.get("dirty_fraction"),
+            )
+            call_span.finish()
         return pages[0]
 
     async def run_batch(
@@ -335,6 +399,7 @@ class MicroBatcher:
         entry: RegisteredWrapper,
         pages: Sequence[str],
         timeout: Optional[float] = None,
+        span: Optional[Span] = None,
     ) -> List[dict]:
         """An already-batched request (``POST /batch``): no coalescing
         wait, but the same cache, dedup, sharding and backpressure.
@@ -360,7 +425,7 @@ class MicroBatcher:
         try:
             hashes = await self._content_hashes(pages)
             outcomes = await self._evaluate(
-                entry, list(zip(pages, hashes)), timeout
+                entry, list(zip(pages, hashes)), timeout, span=span
             )
         finally:
             self._pending -= len(pages)
@@ -425,16 +490,29 @@ class MicroBatcher:
         # One shard call serves the whole batch: bound it by the most
         # generous member budget; stricter per-request deadlines are
         # enforced upstream by the server's retry loop.
-        timeouts = [timeout for _, _, _, timeout in items]
+        timeouts = [timeout for _, _, _, timeout, _, _ in items]
         timeout = None if any(t is None for t in timeouts) else max(timeouts)
         self._metrics.observe_batch(len(items))
+        # One shared ``batch.flush`` span object, attached into *every*
+        # traced member's tree: each trace shows the same flush (same
+        # timings, same batch size) its request rode in.
+        flush_span: Optional[Span] = None
+        for _, _, _, _, span, queue_span in items:
+            if queue_span is not None:
+                queue_span.finish()
+            if span is not None:
+                if flush_span is None:
+                    flush_span = Span("batch.flush", clock=span.clock)
+                    flush_span.tag(batch_size=len(items))
+                span.attach(flush_span)
         try:
             outcomes = await self._evaluate(
                 queue.entry,
-                [(html, doc_hash) for html, doc_hash, _, _ in items],
+                [(html, doc_hash) for html, doc_hash, _, _, _, _ in items],
                 timeout,
+                span=flush_span,
             )
-            for (_, _, future, _), outcome in zip(items, outcomes):
+            for (_, _, future, _, _, _), outcome in zip(items, outcomes):
                 if future.done():
                     continue
                 if isinstance(outcome, BaseException):
@@ -442,10 +520,12 @@ class MicroBatcher:
                 else:
                     future.set_result(outcome)
         except Exception as exc:  # defensive: propagate to every waiter
-            for _, _, future, _ in items:
+            for _, _, future, _, _, _ in items:
                 if not future.done():
                     future.set_exception(exc)
         finally:
+            if flush_span is not None:
+                flush_span.finish()
             self._pending -= len(items)
 
     async def _evaluate(
@@ -453,9 +533,14 @@ class MicroBatcher:
         entry: RegisteredWrapper,
         docs: Sequence[Tuple[str, str]],
         timeout: Optional[float] = None,
+        span: Optional[Span] = None,
     ) -> List[Outcome]:
         """Resolve ``(html, hash)`` docs to per-document outcomes, via the
-        cache, with in-batch dedup and one submission per healthy shard."""
+        cache, with in-batch dedup and one submission per healthy shard.
+
+        ``span`` is the parent for ``ring.route`` / ``shard.call``
+        children: the request's root span on the bypass path, the shared
+        ``batch.flush`` span for a coalesced flush."""
         results: List[Optional[Outcome]] = [None] * len(docs)
         misses: Dict[str, List[int]] = {}
         for index, (_, doc_hash) in enumerate(docs):
@@ -478,13 +563,25 @@ class MicroBatcher:
             self._metrics.incr(
                 "cache_misses", sum(len(indexes) for indexes in misses.values())
             )
+            route_span = span.child("ring.route") if span is not None else None
             by_shard: Dict[int, List[str]] = {}
+            rerouted = 0
             for doc_hash in misses:
                 by_shard.setdefault(self._route(doc_hash), []).append(doc_hash)
+                if (
+                    self.supervisor is not None
+                    and self.supervisor.last_route_rerouted
+                ):
+                    rerouted += 1
+            if route_span is not None:
+                route_span.tag(shards=sorted(by_shard), rerouted=rerouted)
+                route_span.finish()
             pages_by_hash = {h: docs[indexes[0]][0] for h, indexes in misses.items()}
             groups = await asyncio.gather(
                 *(
-                    self._call_group(entry, shard, hashes, pages_by_hash, timeout)
+                    self._call_group(
+                        entry, shard, hashes, pages_by_hash, timeout, span=span
+                    )
                     for shard, hashes in by_shard.items()
                 )
             )
@@ -508,6 +605,7 @@ class MicroBatcher:
         hashes: List[str],
         pages_by_hash: Dict[str, str],
         timeout: Optional[float],
+        span: Optional[Span] = None,
     ) -> Dict[str, Outcome]:
         """One shard sub-batch, with crash bisection.
 
@@ -515,10 +613,14 @@ class MicroBatcher:
         multi-document call the batch is split and both halves re-run
         (the shard has respawned in between; ``_call_once`` re-installs
         the wrapper), so only genuinely poisonous documents keep
-        failing.  A single-document crash earns a quarantine strike."""
+        failing.  A single-document crash earns a quarantine strike.
+        Each attempt (including bisection halves) opens its own
+        ``shard.call`` child span, so retries are visible per trace."""
         pages = [pages_by_hash[h] for h in hashes]
         try:
-            payloads = await self._call_once(entry, shard, pages, timeout)
+            payloads = await self._call_once(
+                entry, shard, pages, timeout, span=span
+            )
         except RetryableServeError as exc:
             if self.supervisor is not None:
                 self.supervisor.record_failure(shard)
@@ -531,14 +633,21 @@ class MicroBatcher:
                 if isinstance(exc, ShardCrashed) and not exc.blameless:
                     if self.quarantine.strike(hashes[0]):
                         self._metrics.incr("quarantined")
+                    if span is not None:
+                        span.tag(
+                            quarantine_strikes=span.tags.get(
+                                "quarantine_strikes", 0
+                            )
+                            + 1
+                        )
                 return {hashes[0]: exc}
             self._metrics.incr("bisections")
             mid = len(hashes) // 2
             left = await self._call_group(
-                entry, shard, hashes[:mid], pages_by_hash, timeout
+                entry, shard, hashes[:mid], pages_by_hash, timeout, span=span
             )
             right = await self._call_group(
-                entry, shard, hashes[mid:], pages_by_hash, timeout
+                entry, shard, hashes[mid:], pages_by_hash, timeout, span=span
             )
             left.update(right)
             return left
@@ -556,6 +665,7 @@ class MicroBatcher:
         shard: int,
         pages: List[str],
         timeout: Optional[float],
+        span: Optional[Span] = None,
     ) -> List[dict]:
         """One bounded shard call: install if needed, submit, validate.
 
@@ -564,40 +674,87 @@ class MicroBatcher:
         :class:`~repro.errors.RequestTimeout`.  Failures in the install
         phase -- before the pages ever reach a worker -- are marked
         ``blameless`` so an innocent document retrying into a pool that
-        an *earlier* crash broke does not accumulate quarantine strikes."""
+        an *earlier* crash broke does not accumulate quarantine strikes.
+
+        With ``span`` set the submission goes through ``submit_traced``:
+        the shard ships per-page kernel stats back and they are grafted
+        into the ``shard.call`` child span as ``snapshot.build`` /
+        ``kernel.run`` spans.  An executor without ``submit_traced`` (or
+        a remote daemon that ignores the trace frame field) degrades to
+        a transport-only span tagged ``degraded``."""
+        call_span = (
+            span.child("shard.call", shard=shard, pages=len(pages))
+            if span is not None
+            else None
+        )
+        submit_traced = (
+            getattr(self._executor, "submit_traced", None)
+            if call_span is not None
+            else None
+        )
         try:
             try:
-                installs = self._executor.ensure_installed(
-                    entry.cache_key, entry.wrapper, shard=shard
+                try:
+                    installs = self._executor.ensure_installed(
+                        entry.cache_key, entry.wrapper, shard=shard
+                    )
+                    for install in installs:
+                        await asyncio.wait_for(
+                            asyncio.wrap_future(install), timeout
+                        )
+                    if submit_traced is not None:
+                        submission = submit_traced(
+                            shard,
+                            entry.cache_key,
+                            pages,
+                            trace={"trace_id": span.tags.get("trace_id")},
+                        )
+                    else:
+                        submission = self._executor.submit(
+                            shard, entry.cache_key, pages
+                        )
+                except ShardCrashed as exc:
+                    exc.blameless = True
+                    raise
+                except BrokenExecutor:
+                    crash = ShardCrashed(
+                        "shard worker died before this batch was submitted; "
+                        "shard respawned, retry the request"
+                    )
+                    crash.blameless = True
+                    raise crash from None
+                result = await asyncio.wait_for(
+                    asyncio.wrap_future(submission), timeout
                 )
-                for install in installs:
-                    await asyncio.wait_for(asyncio.wrap_future(install), timeout)
-                submission = self._executor.submit(shard, entry.cache_key, pages)
-            except ShardCrashed as exc:
-                exc.blameless = True
-                raise
+            except asyncio.TimeoutError:
+                self._metrics.incr("timeouts")
+                # The worker is wedged (or just too slow for this budget):
+                # kill it so the rest of its queue is not stuck behind it.
+                self._executor.kill_shard(shard)
+                raise RequestTimeout(
+                    f"shard call exceeded its {timeout:.3f}s budget; "
+                    "worker killed and respawned, retry the request"
+                ) from None
             except BrokenExecutor:
-                crash = ShardCrashed(
-                    "shard worker died before this batch was submitted; "
+                raise ShardCrashed(
+                    "shard worker died under this request; "
                     "shard respawned, retry the request"
-                )
-                crash.blameless = True
-                raise crash from None
-            result = await asyncio.wait_for(
-                asyncio.wrap_future(submission), timeout
-            )
-        except asyncio.TimeoutError:
-            self._metrics.incr("timeouts")
-            # The worker is wedged (or just too slow for this budget):
-            # kill it so the rest of its queue is not stuck behind it.
-            self._executor.kill_shard(shard)
-            raise RequestTimeout(
-                f"shard call exceeded its {timeout:.3f}s budget; "
-                "worker killed and respawned, retry the request"
-            ) from None
-        except BrokenExecutor:
-            raise ShardCrashed(
-                "shard worker died under this request; "
-                "shard respawned, retry the request"
-            ) from None
-        return validate_shard_result(result, len(pages))
+                ) from None
+            if submit_traced is not None:
+                payloads, kernel = validate_traced_result(result, len(pages))
+            else:
+                payloads, kernel = validate_shard_result(result, len(pages)), None
+        except BaseException as exc:
+            if call_span is not None:
+                call_span.fail(f"{type(exc).__name__}: {exc}")
+            raise
+        if call_span is not None:
+            if kernel is not None:
+                for trace in kernel:
+                    call_span.graft_kernel_stats(trace)
+            elif submit_traced is not None:
+                # The responder answered the untraced shape: an old
+                # daemon that ignored the trace frame field.
+                call_span.tag(degraded="untraced_shard")
+            call_span.finish()
+        return payloads

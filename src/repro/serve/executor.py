@@ -93,6 +93,31 @@ def _shard_wrap(key: str, pages: List[str]) -> List[dict]:
     return result
 
 
+def _shard_wrap_traced(key: str, pages: List[str]) -> dict:
+    """Traced flavor of :func:`_shard_wrap`: per-page kernel stats ride
+    along as ``{"pages": [...], "kernel": [...]}``.
+
+    Fault injection applies to the ``pages`` half only -- the kernel
+    stats are observability metadata, not results, so garbling faults
+    target what the client actually consumes.
+    """
+    from repro.serve.faults import process_injector
+
+    wrapper = _SHARD_WRAPPERS.get(key)
+    if wrapper is None:
+        raise WrapperNotResident(
+            f"wrapper {key!r} is not resident on this shard; retry the request"
+        )
+    injector = process_injector()
+    if injector is not None:
+        injector.before_call(key, pages)
+    traced = wrapper.wrap_html_traced(pages)
+    result = [out.to_dict() for out, _ in traced]
+    if injector is not None:
+        result = injector.after_call(key, result)
+    return {"pages": result, "kernel": [trace for _, trace in traced]}
+
+
 def _wrap_warm_against(
     wrapper: Wrapper,
     states: "OrderedDict[Tuple[str, str], WrapperState]",
@@ -123,6 +148,7 @@ def _wrap_warm_against(
                 "warm": stat["warm"],
                 "dirty": stat["dirty"],
                 "dirty_fraction": stat["dirty_fraction"],
+                "engines": stat["engines"],
             }
         )
     return {"pages": pages, "stats": stats}
@@ -208,6 +234,9 @@ class _ProcessShard:
     def run(self, key: str, pages: List[str]) -> Future:
         return self._submit(_shard_wrap, key, pages)
 
+    def run_traced(self, key: str, pages: List[str]) -> Future:
+        return self._submit(_shard_wrap_traced, key, pages)
+
     def run_warm(self, key: str, items: List[Tuple[str, str]]) -> Future:
         return self._submit(_shard_wrap_warm, key, items)
 
@@ -261,6 +290,9 @@ class _InlineShard:
     def run(self, key: str, pages: List[str]) -> Future:
         return self.pool.submit(self._wrap, key, pages)
 
+    def run_traced(self, key: str, pages: List[str]) -> Future:
+        return self.pool.submit(self._wrap_traced, key, pages)
+
     def run_warm(self, key: str, items: List[Tuple[str, str]]) -> Future:
         return self.pool.submit(self._wrap_warm, key, items)
 
@@ -279,6 +311,20 @@ class _InlineShard:
         if self.injector is not None:
             result = self.injector.after_call(key, result)
         return result
+
+    def _wrap_traced(self, key: str, pages: List[str]) -> dict:
+        wrapper = self._wrappers.get(key)
+        if wrapper is None:
+            raise WrapperNotResident(
+                f"wrapper {key!r} is not resident on this shard; retry the request"
+            )
+        if self.injector is not None:
+            self.injector.before_call(key, pages)
+        traced = wrapper.wrap_html_traced(pages)
+        result = [out.to_dict() for out, _ in traced]
+        if self.injector is not None:
+            result = self.injector.after_call(key, result)
+        return {"pages": result, "kernel": [trace for _, trace in traced]}
 
     def _wrap_warm(self, key: str, items: List[Tuple[str, str]]) -> dict:
         wrapper = self._wrappers.get(key)
@@ -443,6 +489,22 @@ class ShardExecutor:
         if self._closed:
             raise ServeError("executor is closed")
         return self._shards[shard_index].run(key, pages)
+
+    def submit_traced(
+        self,
+        shard_index: int,
+        key: str,
+        pages: List[str],
+        trace: Optional[dict] = None,
+    ) -> Future:
+        """Traced :meth:`submit`: resolves to ``{"pages": [...],
+        "kernel": [...]}`` with one per-page kernel-stats dict alongside
+        each output, for grafting into the request trace.  ``trace`` is
+        accepted for signature parity with the remote transport (local
+        workers do not need the trace id)."""
+        if self._closed:
+            raise ServeError("executor is closed")
+        return self._shards[shard_index].run_traced(key, pages)
 
     def submit_warm(
         self, shard_index: int, key: str, items: List[Tuple[str, str]]

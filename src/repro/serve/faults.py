@@ -452,3 +452,45 @@ def validate_warm_result(result: object, expected: int):
             "item(s); treating as a crash"
         )
     return pages, stats
+
+
+def validate_traced_result(result: object, expected: int):
+    """Validate a *traced* shard call, tolerating untraced responders.
+
+    A tracing-aware shard returns ``{"pages": [...], "kernel": [...]}``
+    (one kernel-stats dict per page); a shard or daemon that predates
+    tracing answers the same request with the plain page list.  Both are
+    healthy -- returns ``(pages, kernel_or_None)`` so the caller can
+    degrade to a transport-only span.  A malformed kernel column is a
+    crash, same as corrupted pages.
+
+    >>> validate_traced_result([{"a": 1}], 1)
+    ([{'a': 1}], None)
+    >>> pages, kernel = validate_traced_result(
+    ...     {"pages": [{"a": 1}], "kernel": [{"kernel_ms": 0.5}]}, 1)
+    >>> kernel[0]["kernel_ms"]
+    0.5
+    >>> validate_traced_result({"pages": [{"a": 1}], "kernel": "bad"}, 1)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ShardCrashed: traced shard call returned malformed kernel stats for 1 page(s); treating as a crash
+    """
+    if isinstance(result, list):
+        return validate_shard_result(result, expected), None
+    if not isinstance(result, dict):
+        raise ShardCrashed(
+            f"traced shard call returned {type(result).__name__}, not a "
+            "pages/kernel dict or page list; treating as a crash"
+        )
+    pages = validate_shard_result(result.get("pages"), expected)
+    kernel = result.get("kernel")
+    if (
+        not isinstance(kernel, list)
+        or len(kernel) != expected
+        or not all(isinstance(item, dict) for item in kernel)
+    ):
+        raise ShardCrashed(
+            f"traced shard call returned malformed kernel stats for "
+            f"{expected} page(s); treating as a crash"
+        )
+    return pages, kernel

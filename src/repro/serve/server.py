@@ -16,8 +16,26 @@ GET      /wrappers                   list registered wrappers
 POST     /wrappers                   register ``{"name", "source", "kind",
                                      "patterns"?, "version"?}``
 GET      /healthz                    liveness + queue depth
-GET      /metrics                    counters, batch stats, p50/p95 latency
+GET      /metrics                    counters, batch stats, per-stage and
+                                     per-wrapper latency histograms (JSON);
+                                     ``?format=prometheus`` for text
+                                     exposition
+GET      /debug/traces               retained request traces (recent ring +
+                                     slow/error exemplars)
+GET      /debug/traces/{id}          one full span tree by trace id
 =======  ==========================  ===========================================
+
+Observability: every ``/extract`` and ``/batch`` request gets a trace id
+(returned in the response payload) and a span tree recorded by the
+server's :class:`~repro.serve.tracing.Tracer` -- ``http.request`` down
+through batcher queueing, ring routing, shard RPC, and the kernel run
+itself (engine, rounds, fallback), including kernel spans grafted back
+from remote shard daemons over the framed RPC protocol.  Stage timings
+feed the per-stage histograms in ``/metrics``; an ``access_log`` sink
+emits one structured JSON line per request (trace id, status, stage
+timings, retries, reroutes, quarantine strikes).  ``tracing=False``
+disables all of it -- the hot path then threads ``span=None`` with one
+``is not None`` test per stage.
 
 The request path is fully asynchronous: handlers never run a fixpoint on
 the event loop -- documents go through the
@@ -83,6 +101,7 @@ from repro.serve.faults import FaultPlan
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import WrapperRegistry
 from repro.serve.supervisor import Quarantine, ShardSupervisor
+from repro.serve.tracing import RequestLog, Span, Tracer, find_spans, stage_timings
 from repro.serve.transport import RemoteShardExecutor
 
 _REASONS = {
@@ -130,11 +149,24 @@ class ExtractionServer:
         breaker_cooldown: float = 5.0,
         faults: Union[FaultPlan, str, None] = None,
         remote_shards: Optional[Sequence[str]] = None,
+        tracing: bool = True,
+        trace_buffer: int = 256,
+        access_log: Union[str, object, None] = None,
     ):
         self.registry = registry
         self.host = host
         self.port = port  # 0 -> ephemeral; set to the bound port by start()
         self.metrics = ServeMetrics()
+        #: Bounded trace store behind /debug/traces; ``None`` when tracing
+        #: is disabled (hot path then carries ``span=None`` throughout).
+        self.tracer: Optional[Tracer] = (
+            Tracer(capacity=trace_buffer) if tracing else None
+        )
+        #: Structured per-request JSON log; ``None`` keeps the server
+        #: silent (tests, embedded use).  ``__main__`` turns it on.
+        self.request_log: Optional[RequestLog] = (
+            RequestLog(access_log) if access_log is not None else None
+        )
         self.cache = ResultCache(
             cache_size, ttl=cache_ttl, max_weight=cache_max_weight
         )
@@ -170,7 +202,9 @@ class ExtractionServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self._stopping = False
-        self._started = time.time()
+        # Monotonic, so reported uptime never jumps on wall-clock steps
+        # (mirrors ServeMetrics' clock choice).
+        self._started = time.monotonic()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -212,7 +246,7 @@ class ExtractionServer:
             await self._close_executor(executor)
             raise
         self.port = self._server.sockets[0].getsockname()[1]
-        self._started = time.time()
+        self._started = time.monotonic()
         await self.supervisor.start()
 
     async def stop(self) -> None:
@@ -366,20 +400,81 @@ class ExtractionServer:
                 and not self._stopping
             )
             started = time.perf_counter()
-            status, payload = await self._dispatch(method, target, body)
+            path = target.split("?", 1)[0]
+            timed = method == "POST" and path.startswith(_TIMED_ROUTES)
+            span: Optional[Span] = None
+            # One read of self.tracer per request: a request started
+            # while tracing was enabled finishes against the same
+            # tracer even if tracing is toggled off mid-flight.
+            tracer = self.tracer if timed else None
+            if tracer is not None:
+                span = tracer.start_trace(
+                    "http.request", route=path, method=method
+                )
+            status, payload = await self._dispatch(method, target, body, span=span)
             if self._stopping:
                 keep_alive = False
-            if method == "POST" and target.split("?", 1)[0].startswith(_TIMED_ROUTES):
-                self.metrics.observe_latency(time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            if span is not None:
+                if status >= 400 and isinstance(payload, dict):
+                    span.fail(str(payload.get("error", status)))
+                span.tag(status=status)
+                trace_id = tracer.finish_trace(span)
+                if isinstance(payload, dict) and "trace_id" not in payload:
+                    payload["trace_id"] = trace_id
+                self._record_request(span, trace_id, status, elapsed)
+            elif timed:
+                self.metrics.observe_latency(elapsed)
             ok = await self._respond(writer, status, payload, keep_alive)
             if not ok or not keep_alive:
                 return
 
+    def _record_request(
+        self, span: Span, trace_id: str, status: int, elapsed: float
+    ) -> None:
+        """Feed one finished request into histograms and the access log.
+
+        Per-stage times come straight from the span tree, so the
+        ``/metrics`` stage histograms and ``/debug/traces`` always agree
+        about where a request spent its time."""
+        wrapper = span.tags.get("wrapper")
+        timings = stage_timings(span)
+        self.metrics.observe_request(elapsed, wrapper, timings)
+        if self.request_log is None:
+            return
+        root = span.to_dict()
+        reroutes = sum(
+            1 for s in find_spans(root, "ring.route") if s["tags"].get("rerouted")
+        )
+        failed_calls = sum(
+            1 for s in find_spans(root, "shard.call") if s.get("error")
+        )
+        self.request_log.log(
+            "request",
+            trace_id=trace_id,
+            route=span.tags.get("route"),
+            wrapper=wrapper,
+            status=status,
+            elapsed_ms=round(elapsed * 1e3, 3),
+            stages=timings,
+            retries=span.tags.get("retries", 0),
+            reroutes=reroutes,
+            failed_shard_calls=failed_calls,
+            quarantine_strikes=span.tags.get("quarantine_strikes", 0),
+            error=root.get("error"),
+        )
+
     async def _respond(self, writer, status, payload, keep_alive=False) -> bool:
-        data = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Text exposition (``/metrics?format=prometheus``).
+            data = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
@@ -401,7 +496,7 @@ class ExtractionServer:
         total = sum(len(doc) for doc in documents)
         return self.deadline_base + self.deadline_per_mb * (total / 1_048_576)
 
-    async def _with_retries(self, attempt_factory):
+    async def _with_retries(self, attempt_factory, span: Optional[Span] = None):
         """Run one extraction attempt, retrying retryable failures.
 
         ``attempt_factory`` builds a fresh coroutine per attempt.
@@ -414,9 +509,14 @@ class ExtractionServer:
         attempt = 0
         while True:
             try:
-                return await attempt_factory()
+                result = await attempt_factory()
+                if span is not None and attempt:
+                    span.tag(retries=attempt)
+                return result
             except RetryableServeError as exc:
                 if attempt >= self.max_retries:
+                    if span is not None and attempt:
+                        span.tag(retries=attempt)
                     raise
                 self.metrics.incr("retries")
                 backoff = (
@@ -429,14 +529,20 @@ class ExtractionServer:
 
     # -- routing -------------------------------------------------------------
 
-    async def _dispatch(self, method: str, target: str, body: bytes) -> Tuple[int, dict]:
-        path = target.split("?", 1)[0]
+    async def _dispatch(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        span: Optional[Span] = None,
+    ) -> Tuple[int, dict]:
+        path, _, query = target.partition("?")
         self.metrics.incr("requests_total")
         try:
             if method == "GET":
-                return self._dispatch_get(path)
+                return self._dispatch_get(path, query)
             if method == "POST":
-                return await self._dispatch_post(path, body)
+                return await self._dispatch_post(path, body, span=span)
             return 405, {"error": f"method {method} not allowed"}
         except PoisonDocument as exc:
             # Deliberately not retried and not a server fault: the
@@ -461,7 +567,7 @@ class ExtractionServer:
             self.metrics.incr("errors")
             return 500, {"error": f"{type(exc).__name__}: {exc}"}
 
-    def _dispatch_get(self, path: str) -> Tuple[int, dict]:
+    def _dispatch_get(self, path: str, query: str = "") -> Tuple[int, dict]:
         if path == "/healthz":
             assert self.batcher is not None
             shard_health = (
@@ -487,7 +593,7 @@ class ExtractionServer:
                     else {}
                 ),
                 "quarantined_documents": len(self.quarantine),
-                "uptime_s": round(time.time() - self._started, 3),
+                "uptime_s": round(time.monotonic() - self._started, 3),
             }
         if path == "/metrics":
             if self.supervisor is not None:
@@ -516,14 +622,32 @@ class ExtractionServer:
                     ),
                 )
             self.metrics.set_gauge("quarantined_documents", len(self.quarantine))
+            if "format=prometheus" in query.split("&"):
+                # Text exposition; _respond switches to text/plain for
+                # string payloads.
+                return 200, self.metrics.prometheus()
             return 200, self.metrics.snapshot()
+        if path == "/debug/traces":
+            if self.tracer is None:
+                return 404, {"error": "tracing is disabled"}
+            return 200, {"traces": self.tracer.list()}
+        if path.startswith("/debug/traces/"):
+            if self.tracer is None:
+                return 404, {"error": "tracing is disabled"}
+            trace_id = path[len("/debug/traces/") :]
+            record = self.tracer.get(trace_id)
+            if record is None:
+                return 404, {"error": f"trace {trace_id!r} not retained"}
+            return 200, record
         if path == "/wrappers":
             return 200, {"wrappers": self.registry.list()}
         if path == "/quarantine":
             return 200, self.quarantine.describe()
         return 404, {"error": f"no such route {path!r}"}
 
-    async def _dispatch_post(self, path: str, body: bytes) -> Tuple[int, dict]:
+    async def _dispatch_post(
+        self, path: str, body: bytes, span: Optional[Span] = None
+    ) -> Tuple[int, dict]:
         assert self.batcher is not None
         if self._stopping:
             return 503, {"error": "server is shutting down"}
@@ -541,18 +665,24 @@ class ExtractionServer:
             except ServeError as exc:
                 return 404, {"error": str(exc)}
             self.metrics.incr("extract_requests")
+            if span is not None:
+                span.tag(wrapper=f"{entry.name}@{entry.version}")
             timeout = self.deadline_for(html)
             if doc_id:
                 # Incremental warm path: the shard holding this doc_id's
                 # previous snapshot re-derives only the changed region.
                 payload = await self._with_retries(
                     lambda: self.batcher.submit_warm(
-                        entry, html, doc_id, timeout=timeout
-                    )
+                        entry, html, doc_id, timeout=timeout, span=span
+                    ),
+                    span=span,
                 )
             else:
                 payload = await self._with_retries(
-                    lambda: self.batcher.submit(entry, html, timeout=timeout)
+                    lambda: self.batcher.submit(
+                        entry, html, timeout=timeout, span=span
+                    ),
+                    span=span,
                 )
             return 200, {
                 "wrapper": entry.name,
@@ -574,11 +704,16 @@ class ExtractionServer:
             except ServeError as exc:
                 return 404, {"error": str(exc)}
             self.metrics.incr("batch_requests")
+            if span is not None:
+                span.tag(wrapper=f"{entry.name}@{entry.version}")
             # Budget the whole batch like one linear pass; retries only
             # recompute the documents that failed (successes are cached).
             timeout = self.deadline_for(*documents)
             results = await self._with_retries(
-                lambda: self.batcher.run_batch(entry, documents, timeout=timeout)
+                lambda: self.batcher.run_batch(
+                    entry, documents, timeout=timeout, span=span
+                ),
+                span=span,
             )
             return 200, {
                 "wrapper": entry.name,

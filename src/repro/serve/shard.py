@@ -10,7 +10,11 @@ time -- the same single-worker queue semantics as local process shards,
 so a ping round trip proves the daemon is draining its queue).
 
 Operations: ``install`` / ``uninstall`` (compiled-wrapper residency,
-LRU-capped), ``wrap`` (a page sub-batch), ``wrap_warm`` (``(html,
+LRU-capped), ``wrap`` (a page sub-batch; a request carrying the optional
+``trace`` frame field additionally returns per-page kernel stats as
+``{"pages": [...], "kernel": [...]}`` and logs the client trace id --
+old daemons read only the keys they know, so the field degrades
+harmlessly), ``wrap_warm`` (``(html,
 doc_id)`` items against the daemon's per-document
 :class:`~repro.wrap.extraction.WrapperState` store -- the incremental
 warm path, state-local to this box), ``ping`` (health + stats), and
@@ -241,6 +245,24 @@ class ShardDaemon:
             key, pages = message["key"], message["pages"]
             self.stats["wraps"] += 1
             self.stats["pages"] += len(pages)
+            trace = message.get("trace")
+            if isinstance(trace, dict):
+                # Tracing-aware router: evaluate with kernel stats and
+                # log the client's trace id so a cross-box grep by
+                # trace id finds the daemon-side line.  Daemons that
+                # predate this field never reach here -- they read only
+                # the keys they know and answer the plain page list.
+                self.stats["traced_wraps"] = self.stats.get("traced_wraps", 0) + 1
+                result = await asyncio.get_running_loop().run_in_executor(
+                    self._pool, self._wrap_traced, key, pages
+                )
+                log_fault_event(
+                    "daemon_traced_wrap",
+                    address=self.address,
+                    trace_id=trace.get("trace_id"),
+                    pages=len(pages),
+                )
+                return result
             return await asyncio.get_running_loop().run_in_executor(
                 self._pool, self._wrap, key, pages
             )
@@ -277,6 +299,16 @@ class ShardDaemon:
         if self.injector is not None:
             result = self.injector.after_call(key, result)
         return result
+
+    def _wrap_traced(self, key: str, pages: List[str]) -> dict:
+        wrapper = self._resident(key)
+        if self.injector is not None:
+            self.injector.before_call(key, pages)
+        traced = wrapper.wrap_html_traced(pages)
+        result = [out.to_dict() for out, _ in traced]
+        if self.injector is not None:
+            result = self.injector.after_call(key, result)
+        return {"pages": result, "kernel": [trace for _, trace in traced]}
 
     def _wrap_warm(self, key: str, items: List[Tuple[str, str]]) -> dict:
         wrapper = self._resident(key)

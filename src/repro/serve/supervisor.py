@@ -250,6 +250,11 @@ class ShardSupervisor:
         #: different shard after a membership change).
         self._last_route: "OrderedDict[str, int]" = OrderedDict()
         self._last_route_cap = 4096
+        #: Whether the most recent route()/route_hash() call diverged
+        #: from the key's natural owner.  Read by the batcher right
+        #: after routing (single event loop, no interleaving) to tag
+        #: the request's ``ring.route`` span.
+        self.last_route_rerouted = False
         self._task: Optional[asyncio.Task] = None
 
     # -- routing ------------------------------------------------------------
@@ -265,9 +270,11 @@ class ShardSupervisor:
         for offset in range(count):
             shard = (home_shard + offset) % count
             if self.breakers[shard].admits():
+                self.last_route_rerouted = bool(offset)
                 if offset:
                     self._metrics.incr("rerouted")
                 return shard
+        self.last_route_rerouted = False
         return home_shard
 
     def route_hash(self, doc_hash: str) -> int:
@@ -292,6 +299,7 @@ class ShardSupervisor:
         if chosen is None:
             # Every remaining member is open/draining: probe the owner.
             chosen = natural
+        self.last_route_rerouted = chosen != natural
         if chosen != natural:
             self._metrics.incr("rerouted")
         self._note_route(doc_hash, chosen)

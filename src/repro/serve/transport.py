@@ -461,6 +461,26 @@ class RemoteShardExecutor:
             self._shards[shard_index].request("wrap", key=key, pages=pages)
         )
 
+    def submit_traced(
+        self,
+        shard_index: int,
+        key: str,
+        pages: List[str],
+        trace: Optional[dict] = None,
+    ):
+        """Traced :meth:`submit`: the request frame carries a new
+        optional ``trace`` field (the client-side trace context, e.g.
+        ``{"trace_id": ...}``).  A tracing-aware daemon echoes kernel
+        stats back as ``{"pages": [...], "kernel": [...]}`` and logs the
+        trace id; an older daemon reads only the frame keys it knows,
+        ignores ``trace``, and answers the plain page list -- which the
+        batcher accepts, degrading to a transport-only span."""
+        return self._task(
+            self._shards[shard_index].request(
+                "wrap", key=key, pages=pages, trace=trace or {"trace_id": None}
+            )
+        )
+
     def submit_warm(self, shard_index: int, key: str, items: List[Tuple[str, str]]):
         return self._task(
             self._shards[shard_index].request("wrap_warm", key=key, items=items)

@@ -37,7 +37,18 @@ cross the process boundary.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Union
+import time
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.datalog.plan import CompiledProgram, compile_program
 from repro.datalog.program import Program
@@ -212,8 +223,18 @@ class Wrapper:
         """Extraction-function names in priority order."""
         return [name for _, name, _ in self._functions]
 
-    def _extract_structure(self, structure: IndexedStructure) -> Dict[str, Set[int]]:
-        """Evaluate all extraction functions against one shared runtime."""
+    def _extract_structure(
+        self,
+        structure: IndexedStructure,
+        collect: Optional[List[Dict]] = None,
+    ) -> Dict[str, Set[int]]:
+        """Evaluate all extraction functions against one shared runtime.
+
+        ``collect``, when given, receives one kernel-stats dict per
+        distinct plan evaluation (``EvaluationResult.stats``, or a
+        minimal ``{"engine": ...}`` for non-kernel strategies) -- the
+        raw material tracing grafts into ``kernel.run`` spans.
+        """
         # Automaton queries and user callables keep receiving the concrete
         # (unwrapped) structure their registered signatures promise; only
         # the datalog engine consumes the index wrapper.
@@ -229,6 +250,13 @@ class Wrapper:
                 result = runs.get(id(plan))
                 if result is None:
                     result = runs[id(plan)] = plan.run(structure)
+                    if collect is not None:
+                        stats = getattr(result, "stats", None)
+                        collect.append(
+                            dict(stats)
+                            if stats
+                            else {"engine": result.engine or result.method}
+                        )
                 ids = result.unary(pred)
             elif streaming:
                 raise WrapError(
@@ -337,6 +365,63 @@ class Wrapper:
             for page in pages
         ]
 
+    def wrap_html_traced(
+        self,
+        pages: Sequence[str],
+        root_label: str = "result",
+    ) -> List[Tuple[OutputNode, Dict]]:
+        """Wrap raw HTML pages while timing each stage of the work.
+
+        Returns one ``(output, trace)`` pair per page, where ``trace``
+        is the cheap stats payload shards ship back over the RPC
+        protocol so the client can graft ``snapshot.build`` /
+        ``kernel.run`` spans into the request trace (see
+        :meth:`repro.serve.tracing.Span.graft_kernel_stats`)::
+
+            {"snapshot_build_ms": float,   # HTML -> columnar snapshot
+             "kernel_ms": float,           # extraction + assembly
+             "runs": [per-plan kernel stats dicts]}
+
+        Each ``runs`` entry is an :attr:`EvaluationResult.stats` dict
+        (engine, rounds, facts, frontier_widths, fallback).  No Span
+        objects are built here -- just counters and two clock reads per
+        page, so the overhead over :meth:`wrap_html_many` is noise.
+
+        >>> from repro.datalog import parse_program
+        >>> w = Wrapper().add_datalog("item", parse_program(
+        ...     "item(x) :- label_li(x).", query="item"))
+        >>> [(out, trace)] = w.wrap_html_traced(["<ul><li>a<li>b</ul>"])
+        >>> out.to_sexpr()
+        'result(item, item)'
+        >>> trace["runs"][0]["engine"] in ("frontier", "worklist")
+        True
+        >>> trace["snapshot_build_ms"] >= 0.0
+        True
+        """
+        self.compile()
+        out: List[Tuple[OutputNode, Dict]] = []
+        for page in pages:
+            started = time.perf_counter()
+            runtime = as_indexed(Document.from_html(page))
+            # Force the snapshot build so its cost lands in this stage
+            # rather than inside the first plan's evaluation.
+            runtime.base.snapshot()
+            built = time.perf_counter()
+            runs: List[Dict] = []
+            output = self._wrap_structure(runtime, root_label, collect=runs)
+            finished = time.perf_counter()
+            out.append(
+                (
+                    output,
+                    {
+                        "snapshot_build_ms": round((built - started) * 1e3, 3),
+                        "kernel_ms": round((finished - built) * 1e3, 3),
+                        "runs": runs,
+                    },
+                )
+            )
+        return out
+
     def wrap_html_stateful(
         self,
         page: str,
@@ -434,9 +519,12 @@ class Wrapper:
     # -- internals -----------------------------------------------------------
 
     def _wrap_structure(
-        self, structure: IndexedStructure, root_label: str
+        self,
+        structure: IndexedStructure,
+        root_label: str,
+        collect: Optional[List[Dict]] = None,
     ) -> OutputNode:
-        results = self._extract_structure(structure)
+        results = self._extract_structure(structure, collect=collect)
         base = structure.base
         if isinstance(base, Document):
             assignment: Dict[int, str] = {}
